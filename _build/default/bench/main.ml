@@ -1,0 +1,166 @@
+(* Benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation
+   (Tables 1-2, Figures 2(b)-(d), 3(b)-(d)), runs the ablation studies
+   from DESIGN.md, and closes with Bechamel micro-benchmarks of the
+   fitting kernels behind each table/figure (on a dimension-reduced
+   instance so Bechamel can afford many repetitions; the harness above
+   reports the true paper-scale fitting costs).
+
+   Usage: main.exe [tab1] [tab2] [fig2] [fig3] [ablation] [micro] [quick|full]
+   With no arguments everything runs at paper scale with a 4-point
+   sample-budget grid for the figures; [full] uses the paper's 6-point
+   grid, [quick] reduced (non-paper) settings. *)
+
+open Cbmf_experiments
+
+let fmt = Format.std_formatter
+
+let section title = Format.fprintf fmt "@.=== %s ===@.@." title
+
+(* Monte-Carlo data is generated once per circuit and shared. *)
+let data_cache : (string, Workload.data) Hashtbl.t = Hashtbl.create 4
+
+let data_for name =
+  match Hashtbl.find_opt data_cache name with
+  | Some d -> d
+  | None ->
+      let w = match name with "lna" -> Workload.lna () | _ -> Workload.mixer () in
+      Format.fprintf fmt "[generating Monte-Carlo data: %s]@." name;
+      let d = Workload.generate w ~seed:1 ~n_train_max:35 ~n_test_per_state:50 in
+      Hashtbl.add data_cache name d;
+      d
+
+let cbmf_config ~quick =
+  if quick then Cbmf_core.Cbmf.fast_config else Cbmf_core.Cbmf.default_config
+
+let run_table ~quick id name =
+  section (Printf.sprintf "%s (paper Table %s: %s)" id (String.sub id 3 1) name);
+  let t = Tables.run ~cbmf_config:(cbmf_config ~quick) (data_for name) in
+  Format.fprintf fmt "%a@." Tables.pp t;
+  Format.fprintf fmt "Accuracy preserved (<=10%% relative): %b@."
+    (Tables.accuracy_preserved t)
+
+let run_figure ~quick ~full id name =
+  section
+    (Printf.sprintf "%s (paper Figure %s(b)-(d): %s error vs samples)" id
+       (String.sub id 3 1) name);
+  let n_grid =
+    if quick then [| 10; 20; 35 |]
+    else if full then [| 10; 15; 20; 25; 30; 35 |]
+    else [| 10; 15; 25; 35 |]
+  in
+  let series =
+    Sweep.run_all ~cbmf_config:(cbmf_config ~quick) ~n_grid (data_for name)
+  in
+  Array.iter (fun s -> Format.fprintf fmt "%a@.@." Sweep.pp s) series
+
+let run_ablation () =
+  section "Ablations (DESIGN.md: ablation-r / ablation-em / ablation-r0)";
+  List.iter
+    (fun name ->
+      let data = data_for name in
+      let a = Ablation.run data ~poi:0 ~n_per_state:15 in
+      Format.fprintf fmt "%a@.@." Ablation.pp a)
+    [ "lna"; "mixer" ]
+
+(* --- Bechamel micro-benchmarks ------------------------------------- *)
+
+let micro_dataset () =
+  (* Dimension-reduced C-BMF instance: K = 32 states, N = 15 samples,
+     M = 200 basis functions, planted sparse/correlated truth. *)
+  let open Cbmf_linalg in
+  let rng = Cbmf_prob.Rng.create 11 in
+  let k = 32 and n = 15 and m = 200 in
+  let support = [| 3; 20; 57; 101; 160 |] in
+  let design =
+    Array.init k (fun _ ->
+        Mat.init n m (fun _ j ->
+            if j = 0 then 1.0 else Cbmf_prob.Rng.gaussian rng))
+  in
+  let response =
+    Array.init k (fun s ->
+        Array.init n (fun i ->
+            let acc = ref (2.0 +. (0.05 *. Cbmf_prob.Rng.gaussian rng)) in
+            Array.iteri
+              (fun si col ->
+                let c = 1.0 /. float_of_int (si + 1) in
+                let c = c *. (1.0 +. (0.2 *. sin (0.2 *. float_of_int s))) in
+                acc := !acc +. (c *. Mat.get design.(s) i col))
+              support;
+            !acc))
+  in
+  Cbmf_model.Dataset.create ~design ~response
+
+let micro () =
+  section "Bechamel micro-benchmarks (dimension-reduced instances)";
+  let open Bechamel in
+  let open Toolkit in
+  let d = micro_dataset () in
+  let _, std = Cbmf_core.Standardize.fit d in
+  let prior =
+    let lambda = Array.make std.Cbmf_model.Dataset.n_basis 1e-7 in
+    Array.iter (fun j -> lambda.(j) <- 1.0) [| 2; 19; 56; 100; 159 |];
+    Cbmf_core.Prior.create ~lambda
+      ~r:(Cbmf_core.Prior.r_of_r0 ~n_states:32 ~r0:0.9)
+      ~sigma0:0.1
+  in
+  let fast = Cbmf_core.Cbmf.fast_config in
+  let tests =
+    Test.make_grouped ~name:"cbmf"
+      [ (* Kernels behind Tables 1 & 2: one full fit per method. *)
+        Test.make ~name:"tab1-tab2.somp-fit"
+          (Staged.stage (fun () -> ignore (Cbmf_model.Somp.fit d ~n_terms:10)));
+        Test.make ~name:"tab1-tab2.cbmf-fit"
+          (Staged.stage (fun () -> ignore (Cbmf_core.Cbmf.fit ~config:fast d)));
+        (* Kernels behind Figures 2 & 3: one sweep point = posterior
+           solves + EM refinement + greedy initialization. *)
+        Test.make ~name:"fig2-fig3.posterior"
+          (Staged.stage (fun () ->
+               ignore
+                 (Cbmf_core.Posterior.compute ~need_sigma:true std prior
+                    ~active:(Array.init std.Cbmf_model.Dataset.n_basis Fun.id))));
+        Test.make ~name:"fig2-fig3.em-refine"
+          (Staged.stage (fun () ->
+               ignore
+                 (Cbmf_core.Em.run
+                    ~config:{ Cbmf_core.Em.default_config with max_iter = 2 }
+                    std prior)));
+        Test.make ~name:"fig2-fig3.init-pass"
+          (Staged.stage (fun () ->
+               ignore
+                 (Cbmf_core.Init.greedy_pass ~train:std ~test:None ~r0:0.9
+                    ~sigma0:0.1 ~theta_max:10)))
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 3.0) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ t ] -> Format.fprintf fmt "  %-30s %12.3f ms/run@." name (t /. 1e6)
+      | _ -> Format.fprintf fmt "  %-30s (no estimate)@." name)
+    rows
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let full = List.mem "full" args in
+  let args = List.filter (fun a -> a <> "quick" && a <> "full") args in
+  let all = args = [] in
+  let want x = all || List.mem x args in
+  let t0 = Unix.gettimeofday () in
+  if want "tab1" then run_table ~quick "tab1" "lna";
+  if want "tab2" then run_table ~quick "tab2" "mixer";
+  if want "fig2" then run_figure ~quick ~full "fig2" "lna";
+  if want "fig3" then run_figure ~quick ~full "fig3" "mixer";
+  if want "ablation" then run_ablation ();
+  if want "micro" then micro ();
+  Format.fprintf fmt "@.[bench complete in %.1f s wall clock]@."
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+examples/corner_extraction.ml: Array Cbmf_circuit Cbmf_core Cbmf_experiments Cbmf_linalg Fun List Mat Printf Process Testbench Vec Workload

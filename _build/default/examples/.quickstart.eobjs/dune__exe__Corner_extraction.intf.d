@@ -1,0 +1,1 @@
+examples/corner_extraction.mli:

@@ -1,0 +1,1 @@
+examples/lna_modeling.ml: Array Cbmf_circuit Cbmf_core Cbmf_experiments Cbmf_linalg List Montecarlo Printf Testbench Workload

@@ -1,0 +1,1 @@
+examples/lna_modeling.mli:

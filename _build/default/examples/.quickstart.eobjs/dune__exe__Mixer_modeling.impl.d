@@ -1,0 +1,1 @@
+examples/mixer_modeling.ml: Array Cbmf_circuit Cbmf_core Cbmf_experiments Cbmf_model List Metrics Mixer Printf Process Somp Testbench Workload

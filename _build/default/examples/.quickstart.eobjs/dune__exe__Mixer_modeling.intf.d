@@ -1,0 +1,1 @@
+examples/mixer_modeling.mli:

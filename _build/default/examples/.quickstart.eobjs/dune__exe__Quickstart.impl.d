@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cbmf_basis Cbmf_core Cbmf_linalg Cbmf_model Cbmf_prob Dataset List Mat Metrics Printf Somp

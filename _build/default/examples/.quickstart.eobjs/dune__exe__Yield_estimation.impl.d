@@ -1,0 +1,1 @@
+examples/yield_estimation.ml: Array Cbmf_basis Cbmf_circuit Cbmf_core Cbmf_experiments Cbmf_linalg Cbmf_prob List Mat Printf Process Sys Testbench Vec Workload

@@ -1,0 +1,57 @@
+(* Paper §4.2 in miniature: the tunable down-conversion mixer with its
+   two switched load resistors (32 codes), 1303 process variables.
+
+     dune exec examples/mixer_modeling.exe
+
+   Demonstrates the sample-budget tradeoff the paper's Table 2 reports:
+   C-BMF fitted on fewer samples vs S-OMP fitted on more. *)
+
+open Cbmf_model
+open Cbmf_circuit
+open Cbmf_experiments
+
+let () =
+  let w = Workload.mixer () in
+  let tb = w.Workload.testbench in
+  Printf.printf "Circuit: %s — %d variables, %d states\n" tb.Testbench.name
+    (Testbench.dim tb) (Testbench.n_states tb);
+
+  let data = Workload.generate w ~seed:5 ~n_train_max:14 ~n_test_per_state:25 in
+
+  (* Budgets: S-OMP gets 14 samples/state, C-BMF only 7. *)
+  let n_somp = 14 and n_cbmf = 7 in
+  Printf.printf "S-OMP budget: %d samples (%.1f h simulated), C-BMF: %d (%.1f h)\n\n"
+    (n_somp * 32)
+    (Testbench.simulation_cost_hours tb ~n_samples:(n_somp * 32))
+    (n_cbmf * 32)
+    (Testbench.simulation_cost_hours tb ~n_samples:(n_cbmf * 32));
+
+  Array.iteri
+    (fun poi name ->
+      let test = Workload.test_dataset data ~poi in
+      let train_somp = Workload.train_dataset data ~poi ~n_per_state:n_somp in
+      let train_cbmf = Workload.train_dataset data ~poi ~n_per_state:n_cbmf in
+      let somp, _ =
+        Somp.fit_cv train_somp ~n_folds:4 ~candidate_terms:[| 4; 8; 12 |]
+      in
+      let model =
+        Cbmf_core.Cbmf.fit ~config:Cbmf_core.Cbmf.fast_config train_cbmf
+      in
+      Printf.printf
+        "%-7s S-OMP@%d: %.3f%%   C-BMF@%d: %.3f%%\n%!" name (n_somp * 32)
+        (100.0 *. Metrics.coeffs_error_pooled ~coeffs:somp.Somp.coeffs test)
+        (n_cbmf * 32)
+        (100.0 *. Cbmf_core.Cbmf.test_error model test))
+    tb.Testbench.poi_names;
+
+  (* Behavioural check: which mechanism limits compression per state? *)
+  let proc = tb.Testbench.process in
+  let x0 = Array.make (Process.dim proc) 0.0 in
+  Printf.printf "\nNominal mixer across the load DAC:\n";
+  List.iter
+    (fun state ->
+      let r = Mixer.evaluate_internals tb ~state x0 in
+      Printf.printf
+        "  code %2d: RL = %3.0f ohm, VG = %5.2f dB, NF = %.2f dB, I1dB = %6.2f dBm\n"
+        state r.Mixer.load_ohms r.Mixer.vg_db r.Mixer.nf_db r.Mixer.i1dbcp_dbm)
+    [ 0; 10; 21; 31 ]

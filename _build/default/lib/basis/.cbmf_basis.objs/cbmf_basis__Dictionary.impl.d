@@ -1,0 +1,1 @@
+lib/basis/dictionary.ml: Array Cbmf_linalg Format List Mat Stdlib Term

@@ -1,0 +1,1 @@
+lib/basis/dictionary.mli: Cbmf_linalg Format Mat Term Vec

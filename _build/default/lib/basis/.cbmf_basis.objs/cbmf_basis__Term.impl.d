@@ -1,0 +1,1 @@
+lib/basis/term.ml: Array Cbmf_linalg Format Printf Stdlib

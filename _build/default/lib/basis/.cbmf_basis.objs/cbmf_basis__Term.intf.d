@@ -1,0 +1,1 @@
+lib/basis/term.mli: Cbmf_linalg Format

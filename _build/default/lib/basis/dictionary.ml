@@ -1,0 +1,89 @@
+open Cbmf_linalg
+
+type t = { terms : Term.t array; input_dim : int }
+
+let of_terms list =
+  let terms = Array.of_list list in
+  let n = Array.length terms in
+  let sorted = Array.copy terms in
+  Array.sort Term.compare sorted;
+  for i = 1 to n - 1 do
+    if Term.equal sorted.(i - 1) sorted.(i) then
+      invalid_arg "Dictionary.of_terms: duplicate term"
+  done;
+  let input_dim =
+    1 + Array.fold_left (fun acc t -> Stdlib.max acc (Term.max_variable t)) (-1) terms
+  in
+  { terms; input_dim }
+
+let linear dim =
+  assert (dim >= 0);
+  of_terms (Term.Constant :: List.init dim (fun i -> Term.Linear i))
+
+let quadratic_diagonal dim =
+  of_terms
+    (Term.Constant
+    :: (List.init dim (fun i -> Term.Linear i)
+       @ List.init dim (fun i -> Term.Square i)))
+
+let quadratic dim =
+  let crosses = ref [] in
+  for i = dim - 1 downto 0 do
+    for j = dim - 1 downto i + 1 do
+      crosses := Term.Cross (i, j) :: !crosses
+    done
+  done;
+  of_terms
+    (Term.Constant
+    :: (List.init dim (fun i -> Term.Linear i)
+       @ List.init dim (fun i -> Term.Square i)
+       @ !crosses))
+
+let size d = Array.length d.terms
+
+let input_dim d = d.input_dim
+
+let term d m = d.terms.(m)
+
+let terms d = Array.copy d.terms
+
+let index_of d t =
+  let rec go i =
+    if i >= Array.length d.terms then None
+    else if Term.equal d.terms.(i) t then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let eval d x =
+  assert (Array.length x >= d.input_dim);
+  Array.map (fun t -> Term.eval t x) d.terms
+
+let design_matrix d xs =
+  assert (xs.Mat.cols >= d.input_dim);
+  let n = xs.Mat.rows and m = size d in
+  let b = Mat.create n m in
+  for i = 0 to n - 1 do
+    let x = Mat.row xs i in
+    Mat.set_row b i (eval d x)
+  done;
+  b
+
+let column_norms (b : Mat.t) =
+  let norms = Array.make b.Mat.cols 0.0 in
+  for i = 0 to b.Mat.rows - 1 do
+    for j = 0 to b.Mat.cols - 1 do
+      let v = Mat.get b i j in
+      norms.(j) <- norms.(j) +. (v *. v)
+    done
+  done;
+  Array.map (fun s -> if s > 0.0 then sqrt s else 1.0) norms
+
+let pp ppf d =
+  Format.fprintf ppf "@[<hov 2>dictionary(M=%d, dim=%d):" (size d) d.input_dim;
+  Array.iteri
+    (fun i t ->
+      if i < 8 then Format.fprintf ppf "@ %a" Term.pp t
+      else if i = 8 then Format.fprintf ppf "@ ...")
+    d.terms;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** An ordered dictionary of basis functions shared by all knob states,
+    plus the design-matrix machinery built on it. *)
+
+open Cbmf_linalg
+
+type t
+
+val of_terms : Term.t list -> t
+(** Keeps the given order; duplicates are rejected. *)
+
+val linear : int -> t
+(** Constant + all first-order terms over [dim] variables
+    (M = dim + 1) — the dictionary used in the paper's examples. *)
+
+val quadratic_diagonal : int -> t
+(** Constant + linear + squares (M = 2·dim + 1). *)
+
+val quadratic : int -> t
+(** Full quadratic including cross terms — O(dim²); only sensible for
+    small [dim]. *)
+
+val size : t -> int
+(** Number of basis functions M. *)
+
+val input_dim : t -> int
+(** Smallest x-dimension the dictionary can be evaluated on. *)
+
+val term : t -> int -> Term.t
+
+val terms : t -> Term.t array
+(** Fresh copy of the term array, in dictionary order. *)
+
+val index_of : t -> Term.t -> int option
+
+val eval : t -> Vec.t -> Vec.t
+(** Row of basis-function values [b_1(x) … b_M(x)]. *)
+
+val design_matrix : t -> Mat.t -> Mat.t
+(** [design_matrix d xs] evaluates the dictionary on every row of [xs]
+    (N×dim), producing the N×M matrix B of eq. (3). *)
+
+val column_norms : Mat.t -> Vec.t
+(** Euclidean norm of every column of a design matrix (zero-safe:
+    returns 1 for all-zero columns so that normalization divides are
+    harmless). *)
+
+val pp : Format.formatter -> t -> unit

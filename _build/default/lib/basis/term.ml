@@ -1,0 +1,41 @@
+type t = Constant | Linear of int | Square of int | Cross of int * int
+
+let eval t (x : Cbmf_linalg.Vec.t) =
+  match t with
+  | Constant -> 1.0
+  | Linear i -> x.(i)
+  | Square i -> x.(i) *. x.(i)
+  | Cross (i, j) -> x.(i) *. x.(j)
+
+let degree = function
+  | Constant -> 0
+  | Linear _ -> 1
+  | Square _ | Cross _ -> 2
+
+let variables = function
+  | Constant -> []
+  | Linear i | Square i -> [ i ]
+  | Cross (i, j) -> [ i; j ]
+
+let max_variable = function
+  | Constant -> -1
+  | Linear i | Square i -> i
+  | Cross (i, j) -> Stdlib.max i j
+
+let rank = function
+  | Constant -> (0, 0, 0)
+  | Linear i -> (1, i, 0)
+  | Square i -> (2, i, i)
+  | Cross (i, j) -> (2, Stdlib.min i j, Stdlib.max i j)
+
+let compare a b = Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Constant -> "1"
+  | Linear i -> Printf.sprintf "x%d" i
+  | Square i -> Printf.sprintf "x%d^2" i
+  | Cross (i, j) -> Printf.sprintf "x%d*x%d" i j
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

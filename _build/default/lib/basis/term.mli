@@ -1,0 +1,30 @@
+(** A single polynomial basis function over the variation vector [x].
+
+    Terms are at most quadratic — the standard dictionary for analog
+    performance modeling (constant, linear, squares and cross products
+    of the device-level variations). *)
+
+type t =
+  | Constant
+  | Linear of int  (** [Linear i] is x_i *)
+  | Square of int  (** [Square i] is x_i² *)
+  | Cross of int * int  (** [Cross (i, j)], i < j, is x_i·x_j *)
+
+val eval : t -> Cbmf_linalg.Vec.t -> float
+
+val degree : t -> int
+
+val variables : t -> int list
+(** Variables the term touches, ascending. *)
+
+val max_variable : t -> int
+(** Largest variable index used; [-1] for [Constant]. *)
+
+val compare : t -> t -> int
+(** Total order: by degree, then lexicographically by indices. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

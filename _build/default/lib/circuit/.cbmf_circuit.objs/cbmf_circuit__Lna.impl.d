@@ -1,0 +1,1 @@
+lib/circuit/lna.ml: Array Cbmf_linalg Complex Float Knob Mna Mosfet Noise Nonlin Printf Process Testbench Units Vec

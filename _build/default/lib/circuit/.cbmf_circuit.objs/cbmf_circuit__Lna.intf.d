@@ -1,0 +1,1 @@
+lib/circuit/lna.mli: Cbmf_linalg Testbench

@@ -1,0 +1,1 @@
+lib/circuit/mixer.ml: Array Cbmf_linalg Float Knob Mosfet Nonlin Printf Process Testbench Units Vec

@@ -1,0 +1,1 @@
+lib/circuit/mixer.mli: Cbmf_linalg Testbench

@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Cbmf_linalg Clu Cmat Complex Float List

@@ -1,0 +1,1 @@
+lib/circuit/montecarlo.ml: Array Cbmf_linalg Cbmf_prob Lhs Mat Rng Testbench

@@ -1,0 +1,1 @@
+lib/circuit/montecarlo.mli: Cbmf_linalg Cbmf_prob Mat Testbench Vec

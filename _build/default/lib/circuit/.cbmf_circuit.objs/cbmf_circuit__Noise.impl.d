@@ -1,0 +1,1 @@
+lib/circuit/noise.ml: Complex List Mna Mosfet Units

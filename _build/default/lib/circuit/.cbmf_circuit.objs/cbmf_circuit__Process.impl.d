@@ -1,0 +1,1 @@
+lib/circuit/process.ml: Array Cbmf_linalg Cbmf_prob Float Printf Rng String Vec

@@ -1,0 +1,1 @@
+lib/circuit/process.mli: Cbmf_linalg Cbmf_prob Vec

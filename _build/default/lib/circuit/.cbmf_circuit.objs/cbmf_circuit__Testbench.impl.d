@@ -1,0 +1,1 @@
+lib/circuit/testbench.ml: Array Cbmf_linalg Knob Process String Vec

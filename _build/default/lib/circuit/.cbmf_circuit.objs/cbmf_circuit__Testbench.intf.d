@@ -1,0 +1,1 @@
+lib/circuit/testbench.mli: Cbmf_linalg Knob Process Vec

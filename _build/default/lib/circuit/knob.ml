@@ -1,0 +1,17 @@
+type t = { code : int; value : float }
+
+let sweep ~n_states ~lo ~hi =
+  assert (n_states >= 2);
+  let step = (hi -. lo) /. float_of_int (n_states - 1) in
+  Array.init n_states (fun i ->
+      { code = i; value = lo +. (step *. float_of_int i) })
+
+let geometric_sweep ~n_states ~lo ~hi =
+  assert (n_states >= 2 && lo > 0.0 && hi > lo);
+  let ratio = (hi /. lo) ** (1.0 /. float_of_int (n_states - 1)) in
+  Array.init n_states (fun i ->
+      { code = i; value = lo *. (ratio ** float_of_int i) })
+
+let value knobs k = knobs.(k).value
+
+let n_states = Array.length

@@ -1,0 +1,19 @@
+(** Tuning-knob configurations ("states").
+
+    A tunable circuit exposes [K] discrete knob codes; each maps to a
+    physical control value (bias current, load resistance, …).  State
+    indices are 0-based internally and 1-based in reports, matching the
+    paper's k = 1…K. *)
+
+type t = { code : int; value : float }
+
+val sweep : n_states:int -> lo:float -> hi:float -> t array
+(** Linear mapping of codes [0 … n_states−1] onto [lo, hi]
+    (both endpoints included). *)
+
+val geometric_sweep : n_states:int -> lo:float -> hi:float -> t array
+(** Logarithmic spacing — natural for bias currents. *)
+
+val value : t array -> int -> float
+
+val n_states : t array -> int

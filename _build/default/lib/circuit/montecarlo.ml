@@ -1,0 +1,61 @@
+open Cbmf_linalg
+open Cbmf_prob
+
+type per_state = { xs : Mat.t; ys : Mat.t }
+
+type t = {
+  testbench : Testbench.t;
+  states : per_state array;
+  n_per_state : int;
+}
+
+let draw_points ~lhs rng ~n ~dim =
+  if lhs then Lhs.gaussian rng ~n ~dim
+  else Mat.init n dim (fun _ _ -> Rng.gaussian rng)
+
+let run_state tb ~state (xs : Mat.t) =
+  let n = xs.Mat.rows in
+  let p = Testbench.n_pois tb in
+  let ys = Mat.create n p in
+  for i = 0 to n - 1 do
+    let pois = tb.Testbench.evaluate ~state (Mat.row xs i) in
+    assert (Array.length pois = p);
+    Mat.set_row ys i pois
+  done;
+  { xs; ys }
+
+let generate ?(shared_samples = false) ?(lhs = false) tb rng ~n_per_state =
+  assert (n_per_state > 0);
+  let dim = Testbench.dim tb in
+  let k = Testbench.n_states tb in
+  let shared =
+    if shared_samples then Some (draw_points ~lhs rng ~n:n_per_state ~dim)
+    else None
+  in
+  let states =
+    Array.init k (fun state ->
+        let xs =
+          match shared with
+          | Some m -> Mat.copy m
+          | None -> draw_points ~lhs rng ~n:n_per_state ~dim
+        in
+        run_state tb ~state xs)
+  in
+  { testbench = tb; states; n_per_state }
+
+let total_samples mc = Array.length mc.states * mc.n_per_state
+
+let poi_column mc ~state ~poi = Mat.col mc.states.(state).ys poi
+
+let truncate mc ~n =
+  assert (n > 0 && n <= mc.n_per_state);
+  let cut (s : per_state) =
+    {
+      xs = Mat.submatrix s.xs ~row0:0 ~col0:0 ~rows:n ~cols:s.xs.Mat.cols;
+      ys = Mat.submatrix s.ys ~row0:0 ~col0:0 ~rows:n ~cols:s.ys.Mat.cols;
+    }
+  in
+  { mc with states = Array.map cut mc.states; n_per_state = n }
+
+let simulation_hours mc =
+  Testbench.simulation_cost_hours mc.testbench ~n_samples:(total_samples mc)

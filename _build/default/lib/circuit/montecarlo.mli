@@ -1,0 +1,44 @@
+(** Monte-Carlo sample generation over a testbench.
+
+    Produces the raw per-state sample sets the modeling flow consumes:
+    an N×dim matrix of variation points and an N×P matrix of PoI
+    values for every state.  Samples are drawn independently per state
+    (as in the paper's transistor-level Monte Carlo), with an optional
+    shared-sample mode and optional Latin-hypercube stratification. *)
+
+open Cbmf_linalg
+
+type per_state = {
+  xs : Mat.t;  (** N × dim variation samples *)
+  ys : Mat.t;  (** N × n_pois performance values *)
+}
+
+type t = {
+  testbench : Testbench.t;
+  states : per_state array;
+  n_per_state : int;
+}
+
+val generate :
+  ?shared_samples:bool ->
+  ?lhs:bool ->
+  Testbench.t ->
+  Cbmf_prob.Rng.t ->
+  n_per_state:int ->
+  t
+(** [generate tb rng ~n_per_state] runs [n_per_state] samples for each
+    state.  [shared_samples] (default false) reuses the same variation
+    points across states; [lhs] (default false) stratifies the draw. *)
+
+val total_samples : t -> int
+(** Number of simulated (state, sample) pairs — the unit of the cost
+    model. *)
+
+val poi_column : t -> state:int -> poi:int -> Vec.t
+(** Response vector y_k for one PoI. *)
+
+val truncate : t -> n:int -> t
+(** First [n] samples of every state — lets one generation serve a
+    whole sample-size sweep without re-simulating. *)
+
+val simulation_hours : t -> float

@@ -1,0 +1,39 @@
+type source = { label : string; n_pos : Mna.node; n_neg : Mna.node; psd : float }
+
+let resistor_source ~label a b ~r =
+  assert (r > 0.0);
+  { label; n_pos = a; n_neg = b; psd = Units.four_kt /. r }
+
+let channel_source ~label ~drain ~source (op : Mosfet.op_point) =
+  { label; n_pos = drain; n_neg = source; psd = Mosfet.thermal_noise_psd op }
+
+type report = { total_psd : float; contributions : (string * float) list }
+
+let transfer_mag_sq analysis ~out_pos ~out_neg src =
+  let sol = Mna.solve_injection analysis ~pos:src.n_pos ~neg:src.n_neg in
+  let h = Mna.differential sol out_pos out_neg in
+  (* Complex.norm2 is |h|² already. *)
+  Complex.norm2 h
+
+let output_noise analysis ~out_pos ~out_neg sources =
+  let contributions =
+    List.map
+      (fun src ->
+        (src.label, src.psd *. transfer_mag_sq analysis ~out_pos ~out_neg src))
+      sources
+  in
+  let total_psd = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 contributions in
+  let contributions =
+    List.sort (fun (_, a) (_, b) -> compare b a) contributions
+  in
+  { total_psd; contributions }
+
+let noise_figure_db analysis ~out_pos ~out_neg ~input_source others =
+  let from_input =
+    input_source.psd *. transfer_mag_sq analysis ~out_pos ~out_neg input_source
+  in
+  assert (from_input > 0.0);
+  let { total_psd; _ } =
+    output_noise analysis ~out_pos ~out_neg (input_source :: others)
+  in
+  10.0 *. log10 (total_psd /. from_input)

@@ -1,0 +1,45 @@
+(** Small-signal noise analysis on top of {!Mna}.
+
+    Every noise generator is an equivalent current source (pair of
+    nodes) with a one-sided PSD in A²/Hz.  Output noise accumulates the
+    squared magnitude of each source's transfer to the designated
+    output, reusing the single matrix factorization. *)
+
+type source = {
+  label : string;
+  n_pos : Mna.node;
+  n_neg : Mna.node;
+  psd : float;  (** A²/Hz *)
+}
+
+val resistor_source :
+  label:string -> Mna.node -> Mna.node -> r:float -> source
+(** Thermal noise of a resistor: PSD 4kT/R. *)
+
+val channel_source :
+  label:string -> drain:Mna.node -> source:Mna.node -> Mosfet.op_point ->
+  source
+(** MOSFET channel thermal noise: PSD 4kT·γ·gm between drain and
+    source. *)
+
+type report = {
+  total_psd : float;  (** total output noise voltage PSD, V²/Hz *)
+  contributions : (string * float) list;  (** per-source, descending *)
+}
+
+val output_noise :
+  Mna.analysis -> out_pos:Mna.node -> out_neg:Mna.node -> source list ->
+  report
+
+val noise_figure_db :
+  Mna.analysis ->
+  out_pos:Mna.node ->
+  out_neg:Mna.node ->
+  input_source:source ->
+  source list ->
+  float
+(** [noise_figure_db a ~out_pos ~out_neg ~input_source others] is
+    10·log10(F) with F = (noise from input source + others) / (noise
+    from input source alone) at the differential output.  The input
+    source (the Norton equivalent of the driving resistance) must not
+    be repeated in [others]. *)

@@ -1,0 +1,1 @@
+lib/core/cbmf.ml: Array Cbmf_linalg Cbmf_model Dataset Em Float Init Mat Metrics Posterior Prior Standardize Sys Vec

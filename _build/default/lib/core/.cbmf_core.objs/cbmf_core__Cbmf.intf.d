@@ -1,0 +1,1 @@
+lib/core/cbmf.mli: Cbmf_linalg Cbmf_model Dataset Em Init Mat Vec

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Cbmf Cbmf_linalg Cbmf_model Cbmf_prob Dataset Float Fun List Mat Metrics Standardize Vec

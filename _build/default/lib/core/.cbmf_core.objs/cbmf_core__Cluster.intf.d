@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Cbmf Cbmf_linalg Cbmf_model Dataset Mat

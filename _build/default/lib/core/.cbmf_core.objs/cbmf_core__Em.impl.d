@@ -1,0 +1,1 @@
+lib/core/em.ml: Array Cbmf_linalg Cbmf_model Chol Dataset Float List Mat Posterior Prior Stdlib Vec

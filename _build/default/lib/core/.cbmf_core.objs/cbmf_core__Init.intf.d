@@ -1,0 +1,1 @@
+lib/core/init.mli: Cbmf_linalg Cbmf_model Dataset Prior

@@ -1,0 +1,1 @@
+lib/core/posterior.ml: Array Cbmf_linalg Cbmf_model Chol Dataset Float Mat Prior Vec

@@ -1,0 +1,1 @@
+lib/core/posterior.mli: Cbmf_linalg Cbmf_model Dataset Mat Prior Vec

@@ -1,0 +1,1 @@
+lib/core/prior.ml: Array Cbmf_linalg Chol Float Mat Vec

@@ -1,0 +1,1 @@
+lib/core/prior.mli: Cbmf_linalg Mat Vec

@@ -1,0 +1,1 @@
+lib/core/standardize.ml: Array Cbmf_linalg Cbmf_model Dataset Float Mat Stdlib Vec

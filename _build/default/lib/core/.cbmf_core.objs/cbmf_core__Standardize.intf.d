@@ -1,0 +1,1 @@
+lib/core/standardize.mli: Cbmf_linalg Cbmf_model Dataset Mat Vec

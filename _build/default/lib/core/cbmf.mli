@@ -1,0 +1,60 @@
+(** Correlated Bayesian Model Fusion — Algorithm 1, end to end.
+
+    [fit] standardizes the dataset, runs the modified-S-OMP
+    cross-validated initialization (steps 1–17), refines the
+    hyper-parameters by EM (steps 18–20), and maps the MAP coefficients
+    back to raw units.  The result predicts any state's performance
+    from a design-matrix row. *)
+
+open Cbmf_linalg
+open Cbmf_model
+
+type config = {
+  init : Init.config;
+  em : Em.config;
+}
+
+val default_config : config
+
+val fast_config : config
+(** Smaller grids and iteration caps — for tests and quick sweeps. *)
+
+val independent_config : config
+(** Ablation: magnitude correlation disabled (R frozen at identity,
+    r0 grid = {0}) — isolates the paper's claimed contribution over
+    shared-template-only methods. *)
+
+val init_only_config : config
+(** Ablation: skip the EM refinement (steps 18–20). *)
+
+type info = {
+  r0 : float;  (** initializer's winning correlation decay *)
+  sigma0_init : float;
+  theta : int;  (** initializer's winning support size *)
+  init_cv_error : float;
+  em_iterations : int;
+  em_converged : bool;
+  nlml_history : float array;
+  final_active : int;  (** basis functions surviving EM pruning *)
+  final_sigma0 : float;  (** standardized units *)
+  final_r : Mat.t;  (** K×K learned correlation *)
+  fit_seconds : float;  (** CPU time of the whole fit *)
+}
+
+type model = {
+  coeffs : Mat.t;  (** K×M, raw units — eq. (1)'s α *)
+  info : info;
+  uncertainty : state:int -> Vec.t -> float * float;
+      (** [(mean, sd)] in raw units for one raw dictionary row,
+          including both posterior coefficient uncertainty and the
+          observation-noise level σ0 — what the MAP-only paper does not
+          expose but the Bayesian posterior provides for free. *)
+}
+
+val fit : ?config:config -> Dataset.t -> model
+
+val predict_state : model -> design:Mat.t -> state:int -> Vec.t
+(** ŷ_k = B_k α_k. *)
+
+val test_error : model -> Dataset.t -> float
+(** Pooled relative RMS on an independent dataset. *)

@@ -1,0 +1,102 @@
+open Cbmf_linalg
+open Cbmf_model
+
+type assignment = { clusters : int array array; gaps : float array }
+
+let profile_states (d : Dataset.t) =
+  (* Matched-filter profile p_k = B_kᵀ y_k / N on standardized data:
+     far more robust than a per-state regression at small N (its signal
+     components concentrate at the true support while the noise spreads
+     thinly over all M columns), and deliberately per-state so that no
+     cross-state assumption leaks into the clustering decision. *)
+  let _, std = Standardize.fit d in
+  let k = std.Dataset.n_states in
+  let profiles = Mat.create k std.Dataset.n_basis in
+  for s = 0 to k - 1 do
+    let p = Mat.mat_tvec std.Dataset.design.(s) std.Dataset.response.(s) in
+    Vec.scale_inplace p (1.0 /. float_of_int std.Dataset.n_samples);
+    Mat.set_row profiles s p
+  done;
+  profiles
+
+(* Columns of a profile that rise above the noise floor: 2.5 robust
+   sigmas, with the noise level estimated as median |entry| × 1.4826. *)
+let support_of (p : Vec.t) =
+  let sigma = 1.4826 *. Cbmf_prob.Stats.median (Array.map abs_float p) in
+  let cutoff = 2.5 *. Float.max sigma 1e-12 in
+  let sup = ref [] in
+  Array.iteri (fun j v -> if abs_float v >= cutoff then sup := j :: !sup) p;
+  if !sup = [] then [ Vec.argmax (Array.map abs_float p) ] else !sup
+
+let adjacent_gaps (profiles : Mat.t) =
+  let k = profiles.Mat.rows in
+  (* Angular distance of the raw profiles restricted to the union of
+     the two states' detected supports: a marginal signal that clears
+     the threshold on only one side still contributes its raw value
+     from both sides, while pure-noise columns are excluded. *)
+  Array.init (k - 1) (fun i ->
+      let a = Mat.row profiles i and b = Mat.row profiles (i + 1) in
+      let union =
+        List.sort_uniq compare (support_of a @ support_of b)
+      in
+      let pick (v : Vec.t) = Array.of_list (List.map (fun j -> v.(j)) union) in
+      let ar = pick a and br = pick b in
+      let denom = Float.max 1e-12 (Vec.norm2 ar *. Vec.norm2 br) in
+      1.0 -. (Vec.dot ar br /. denom))
+
+let cut_at d gap_idx =
+  let k = d.Dataset.n_states in
+  let cuts = List.sort compare gap_idx in
+  let clusters = ref [] and start = ref 0 in
+  List.iter
+    (fun c ->
+      clusters := Array.init (c + 1 - !start) (fun i -> !start + i) :: !clusters;
+      start := c + 1)
+    cuts;
+  clusters := Array.init (k - !start) (fun i -> !start + i) :: !clusters;
+  Array.of_list (List.rev !clusters)
+
+let segment (d : Dataset.t) ~n_clusters =
+  assert (n_clusters >= 1 && n_clusters <= d.Dataset.n_states);
+  let gaps = adjacent_gaps (profile_states d) in
+  let order = Array.init (Array.length gaps) Fun.id in
+  Array.sort (fun i j -> compare gaps.(j) gaps.(i)) order;
+  let cuts = Array.to_list (Array.sub order 0 (n_clusters - 1)) in
+  { clusters = cut_at d cuts; gaps }
+
+let auto_segment ?(threshold = 5.0) (d : Dataset.t) =
+  let gaps = adjacent_gaps (profile_states d) in
+  let median = Cbmf_prob.Stats.median gaps in
+  let cuts = ref [] in
+  Array.iteri
+    (fun i g ->
+      (* Relative test against the typical gap, plus an absolute floor:
+         an angular distance below 0.5 means the profiles are clearly
+         correlated, so never cut there regardless of the median. *)
+      if g > threshold *. Float.max median 1e-12 && g > 0.5 then
+        cuts := i :: !cuts)
+    gaps;
+  { clusters = cut_at d !cuts; gaps }
+
+let fit_clustered ?(config = Cbmf.default_config) (d : Dataset.t) a =
+  let coeffs = Mat.create d.Dataset.n_states d.Dataset.n_basis in
+  let models =
+    Array.map
+      (fun states ->
+        let sub = Dataset.select_states d states in
+        let model =
+          (* A singleton cluster cannot carry cross-state correlation:
+             fall back to the independent prior. *)
+          if Array.length states = 1 then Cbmf.fit ~config:Cbmf.independent_config sub
+          else Cbmf.fit ~config sub
+        in
+        Array.iteri
+          (fun local global ->
+            Mat.set_row coeffs global (Mat.row model.Cbmf.coeffs local))
+          states;
+        model)
+      a.clusters
+  in
+  (models, coeffs)
+
+let test_error ~coeffs d = Metrics.coeffs_error_pooled ~coeffs d

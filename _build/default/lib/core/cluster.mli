@@ -1,0 +1,46 @@
+(** State clustering — the extension the paper's conclusion calls for:
+
+    "C-BMF assumes a unified correlation model across all states.  If
+    the states are mutually different, such an assumption will no
+    longer hold.  In this case, a clustering algorithm is needed to
+    group similar states into clusters before applying the proposed
+    C-BMF algorithm."
+
+    Knob states are ordered (they come from a monotone physical
+    control), so clusters are contiguous ranges of codes.  States are
+    profiled by a cheap per-state matched filter; the cluster
+    boundaries are placed at the largest adjacent-state angular
+    profile jumps.
+    C-BMF then runs independently inside each cluster and the per-state
+    coefficient rows are reassembled. *)
+
+open Cbmf_linalg
+open Cbmf_model
+
+type assignment = {
+  clusters : int array array;
+      (** contiguous state-index groups, ascending, covering 0..K−1 *)
+  gaps : float array;
+      (** adjacent-state profile distances (length K−1), for diagnostics *)
+}
+
+val profile_states : Dataset.t -> Mat.t
+(** K×M per-state matched-filter profiles (B_kᵀ y_k / N on standardized
+    data) — cheap, prior-free and robust at small N. *)
+
+val segment : Dataset.t -> n_clusters:int -> assignment
+(** Cut the ordered states at the [n_clusters − 1] largest adjacent
+    profile gaps. *)
+
+val auto_segment : ?threshold:float -> Dataset.t -> assignment
+(** Data-driven cluster count: cut wherever the adjacent gap exceeds
+    [threshold] (default 5.0) times the median gap. *)
+
+val fit_clustered :
+  ?config:Cbmf.config -> Dataset.t -> assignment -> Cbmf.model array * Mat.t
+(** Run C-BMF independently per cluster; returns the per-cluster models
+    and the reassembled K×M coefficient matrix (rows in original state
+    order). *)
+
+val test_error : coeffs:Mat.t -> Dataset.t -> float
+(** Pooled relative RMS of reassembled coefficients on a dataset. *)

@@ -1,0 +1,145 @@
+open Cbmf_linalg
+open Cbmf_model
+
+type config = {
+  max_iter : int;
+  tol : float;
+  prune_tol : float;
+  warm_iters : int;
+  update_r : bool;
+  update_sigma0 : bool;
+  r_ridge : float;
+  min_sigma0 : float;
+  min_active : int;
+}
+
+let default_config =
+  {
+    max_iter = 30;
+    tol = 1e-4;
+    prune_tol = 1e-4;
+    warm_iters = 1;
+    update_r = true;
+    update_sigma0 = false;
+    r_ridge = 1e-5;
+    min_sigma0 = 1e-4;
+    min_active = 1;
+  }
+
+type trace = {
+  iterations : int;
+  nlml_history : float array;
+  active_history : int array;
+  converged : bool;
+}
+
+(* Keep at least [min_active] columns: if pruning is too aggressive,
+   fall back to the largest-λ columns.  During the warm-up iterations
+   every nonzero λ stays active so the first full posterior can
+   resurrect basis functions the greedy initializer missed; afterwards
+   the standard relative floor applies. *)
+let prune cfg ~iter (lambda : Vec.t) =
+  let m = Array.length lambda in
+  let lmax = Array.fold_left Float.max 0.0 lambda in
+  let tol = if iter <= cfg.warm_iters then 0.0 else cfg.prune_tol in
+  let keep = ref [] in
+  for j = m - 1 downto 0 do
+    if lambda.(j) > tol *. lmax then keep := j :: !keep
+  done;
+  let kept = Array.of_list !keep in
+  if Array.length kept >= cfg.min_active then kept
+  else begin
+    let order = Array.init m (fun i -> i) in
+    Array.sort (fun i j -> compare lambda.(j) lambda.(i)) order;
+    let top = Array.sub order 0 (Stdlib.min cfg.min_active m) in
+    Array.sort compare top;
+    top
+  end
+
+let m_step cfg (d : Dataset.t) (prior : Prior.t) (post : Posterior.t) =
+  let k = d.Dataset.n_states in
+  let m = d.Dataset.n_basis in
+  let nk = float_of_int post.Posterior.nk in
+  let r_chol = Chol.factorize_with_retry prior.Prior.r in
+  let r_inv = Chol.inverse r_chol in
+  let lambda' = Array.make m 0.0 in
+  let r_acc = Mat.create k k in
+  let n_acc = ref 0 in
+  Array.iter
+    (fun (col, sigma_m) ->
+      let mu_m = Mat.row post.Posterior.mu col in
+      (* e = Σ_m + μ_m μ_mᵀ *)
+      let e = Mat.copy sigma_m in
+      Mat.add_outer_inplace e 1.0 mu_m mu_m;
+      (* λ_m = Tr(R⁻¹ e)/K *)
+      let tr = Mat.trace (Mat.matmul r_inv e) in
+      let lam = Float.max (tr /. float_of_int k) 0.0 in
+      lambda'.(col) <- lam;
+      if lam > 1e-300 then begin
+        Mat.add_scaled_inplace r_acc (1.0 /. lam) e;
+        incr n_acc
+      end)
+    post.Posterior.sigma_blocks;
+  let r' =
+    if cfg.update_r && !n_acc > 0 then begin
+      let r_new = Mat.scale (1.0 /. float_of_int !n_acc) r_acc in
+      (* Fix the λ·R scale ambiguity and keep R well-conditioned. *)
+      let mean_diag =
+        Float.max (Mat.trace r_new /. float_of_int k) 1e-300
+      in
+      Mat.scale_inplace r_new (1.0 /. mean_diag);
+      (* The sample estimate averages only |A| outer-product terms; a
+         K×K correlation needs ≳2K of them.  Shrink toward the previous
+         R in proportion to the evidence so a thin active set cannot
+         destabilize the prior. *)
+      let w = Float.min 1.0 (float_of_int !n_acc /. (2.0 *. float_of_int k)) in
+      Mat.scale_inplace r_new w;
+      Mat.add_scaled_inplace r_new (1.0 -. w) prior.Prior.r;
+      Mat.symmetrize_inplace r_new;
+      Mat.add_diag_inplace r_new cfg.r_ridge;
+      Chol.nearest_pd_inplace r_new;
+      r_new
+    end
+    else Mat.copy prior.Prior.r
+  in
+  let sigma0' =
+    if cfg.update_sigma0 then begin
+      let s2 = prior.Prior.sigma0 *. prior.Prior.sigma0 in
+      let tr_dsd = s2 *. (nk -. (s2 *. post.Posterior.trace_ginv)) in
+      let tr_dsd = Float.max tr_dsd 0.0 in
+      Float.max (sqrt ((post.Posterior.resid_sq +. tr_dsd) /. nk)) cfg.min_sigma0
+    end
+    else prior.Prior.sigma0
+  in
+  Prior.create ~lambda:lambda' ~r:r' ~sigma0:sigma0'
+
+let run ?(config = default_config) (d : Dataset.t) prior0 =
+  let nlml = ref [] and active_hist = ref [] in
+  let rec loop prior last_nlml iter =
+    let active = prune config ~iter prior.Prior.lambda in
+    let post = Posterior.compute ~need_sigma:true d prior ~active in
+    nlml := post.Posterior.nlml :: !nlml;
+    active_hist := Array.length active :: !active_hist;
+    let converged =
+      match last_nlml with
+      | Some prev ->
+          abs_float (prev -. post.Posterior.nlml)
+          <= config.tol *. Float.max 1.0 (abs_float prev)
+      | None -> false
+    in
+    if converged || iter >= config.max_iter then (prior, post, converged, iter)
+    else begin
+      let prior' = m_step config d prior post in
+      loop prior' (Some post.Posterior.nlml) (iter + 1)
+    end
+  in
+  let prior, post, converged, iterations = loop prior0 None 1 in
+  let trace =
+    {
+      iterations;
+      nlml_history = Array.of_list (List.rev !nlml);
+      active_history = Array.of_list (List.rev !active_hist);
+      converged;
+    }
+  in
+  (prior, post, trace)

@@ -1,0 +1,55 @@
+(** Expectation-maximization over the C-BMF hyper-parameters
+    (paper §3.3, eqs. 26–31).
+
+    Each iteration computes the structured posterior (E-step) and then
+    re-estimates Ω = {λ, R, σ0} (M-step):
+
+    - λ_m ← Tr(R⁻¹(Σ_m + μ_m μ_mᵀ)) / K            (eq. 29)
+    - R   ← (1/|A|) Σ_{m∈A} (Σ_m + μ_m μ_mᵀ)/λ_m    (eq. 30)
+    - σ0² ← (‖y − Dμ‖² + σ0²(NK − σ0²·Tr G⁻¹)) / NK (eq. 31, using the
+      exact identity Tr(DΣDᵀ) = σ0²(NK − σ0²·Tr G⁻¹))
+
+    λ·R has a scale ambiguity, so R is renormalized to unit mean
+    diagonal, symmetrized and ridge-stabilized after every update;
+    basis functions whose λ collapses are pruned from the active set
+    (standard sparse-Bayesian-learning pruning). *)
+
+open Cbmf_linalg
+open Cbmf_model
+
+type config = {
+  max_iter : int;
+  tol : float;  (** relative NLML change for convergence *)
+  prune_tol : float;  (** λ pruning threshold relative to max λ *)
+  warm_iters : int;
+      (** iterations during which nothing is pruned, giving the full
+          posterior a chance to resurrect basis functions the greedy
+          initializer missed *)
+  update_r : bool;  (** false freezes R (ablation) *)
+  update_sigma0 : bool;
+      (** eq. 31's ML noise update.  Default false: the update converges
+          to the DOF-corrected {e training} residual, which badly
+          underestimates the held-out noise when the model error is a
+          structured nonlinear residual rather than iid noise (as with
+          any deterministic simulator), destabilizing the shrinkage.
+          The cross-validated σ0 from the initializer is kept instead;
+          enabling this applies eq. 31 with a floor at 0.9× the
+          initializer's held-out error. *)
+  r_ridge : float;  (** diagonal added to R after each update *)
+  min_sigma0 : float;
+  min_active : int;  (** never prune below this many basis functions *)
+}
+
+val default_config : config
+
+type trace = {
+  iterations : int;
+  nlml_history : float array;  (** one value per E-step, in order *)
+  active_history : int array;  (** active-set size per iteration *)
+  converged : bool;
+}
+
+val run :
+  ?config:config -> Dataset.t -> Prior.t -> Prior.t * Posterior.t * trace
+(** [run data prior0] iterates EM from [prior0] and returns the final
+    hyper-parameters, the posterior under them, and the trace. *)

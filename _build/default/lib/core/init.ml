@@ -1,0 +1,171 @@
+open Cbmf_linalg
+open Cbmf_model
+
+type config = {
+  r0_grid : float array;
+  sigma0_grid : float array;
+  theta_max : int;
+  n_folds : int;
+  lambda_off : float;
+}
+
+let default_config =
+  {
+    r0_grid = [| 0.6; 0.9; 0.995 |];
+    sigma0_grid = [| 0.1; 0.3 |];
+    theta_max = 40;
+    n_folds = 4;
+    lambda_off = 1e-7;
+  }
+
+type result = {
+  support : int array;
+  r0 : float;
+  sigma0 : float;
+  theta : int;
+  cv_error : float;
+  prior : Prior.t;
+}
+
+(* One incremental greedy pass.  G starts at σ0²·I and grows by the
+   rank-K contribution E_s·R·E_sᵀ = Σ_j (E_s·L_R·e_j)(…)ᵀ of each
+   selected basis s (λ = 1), maintained as rank-1 Cholesky updates. *)
+let greedy_pass ~(train : Dataset.t) ~test ~r0 ~sigma0 ~theta_max =
+  let k = train.Dataset.n_states
+  and n = train.Dataset.n_samples
+  and m = train.Dataset.n_basis in
+  let nk = k * n in
+  let theta_max = Stdlib.min theta_max (Stdlib.min (nk - 1) m) in
+  assert (theta_max >= 1);
+  let r = Prior.r_of_r0 ~n_states:k ~r0 in
+  let l_r = Chol.lower (Chol.factorize_with_retry r) in
+  let chol_g = Chol.of_scaled_identity nk (sigma0 *. sigma0) in
+  let y = Array.make nk 0.0 in
+  for s = 0 to k - 1 do
+    Array.blit train.Dataset.response.(s) 0 y (s * n) n
+  done;
+  let residual = Array.map Vec.copy train.Dataset.response in
+  let exclude = Array.make m false in
+  let support = ref [] in
+  let errors = ref [] in
+  let steps = ref 0 in
+  (try
+     for _ = 1 to theta_max do
+       let s = Somp.select_next train ~residual ~exclude in
+       exclude.(s) <- true;
+       support := s :: !support;
+       incr steps;
+       (* Rank-K update of the G factor for basis s. *)
+       for j = 0 to k - 1 do
+         let u = Array.make nk 0.0 in
+         for st = 0 to k - 1 do
+           let lrj = Mat.get l_r st j in
+           if lrj <> 0.0 then begin
+             let b = train.Dataset.design.(st) in
+             for i = 0 to n - 1 do
+               u.((st * n) + i) <- lrj *. Mat.get b i s
+             done
+           end
+         done;
+         Chol.rank1_update chol_g u
+       done;
+       (* Bayesian coefficients on the current support (λ = 1). *)
+       let z = Chol.solve_vec chol_g y in
+       let sup = Array.of_list (List.rev !support) in
+       let a = Array.length sup in
+       let mu = Mat.create a k in
+       Array.iteri
+         (fun j col ->
+           let v = Array.make k 0.0 in
+           for st = 0 to k - 1 do
+             let b = train.Dataset.design.(st) in
+             let acc = ref 0.0 in
+             for i = 0 to n - 1 do
+               acc := !acc +. (Mat.get b i col *. z.((st * n) + i))
+             done;
+             v.(st) <- !acc
+           done;
+           Mat.set_row mu j (Mat.mat_vec r v))
+         sup;
+       (* Residuals (eq. 34). *)
+       for st = 0 to k - 1 do
+         let b = train.Dataset.design.(st) in
+         let res = Vec.copy train.Dataset.response.(st) in
+         for i = 0 to n - 1 do
+           let pred = ref 0.0 in
+           for j = 0 to a - 1 do
+             pred := !pred +. (Mat.get b i sup.(j) *. Mat.get mu j st)
+           done;
+           res.(i) <- res.(i) -. !pred
+         done;
+         residual.(st) <- res
+       done;
+       (* Score this θ on the held-out fold. *)
+       match test with
+       | None -> ()
+       | Some (t : Dataset.t) ->
+           let pairs =
+             Array.init k (fun st ->
+                 let b = t.Dataset.design.(st) in
+                 let predicted =
+                   Array.init b.Mat.rows (fun i ->
+                       let acc = ref 0.0 in
+                       for j = 0 to a - 1 do
+                         acc := !acc +. (Mat.get b i sup.(j) *. Mat.get mu j st)
+                       done;
+                       !acc)
+                 in
+                 (predicted, t.Dataset.response.(st)))
+           in
+           errors := Metrics.relative_rms_pooled pairs :: !errors
+     done
+   with Not_found -> ());
+  (Array.of_list (List.rev !support), Array.of_list (List.rev !errors))
+
+let run ?(config = default_config) (d : Dataset.t) =
+  assert (Array.length config.r0_grid > 0);
+  assert (Array.length config.sigma0_grid > 0);
+  let best = ref None in
+  Array.iter
+    (fun r0 ->
+      Array.iter
+        (fun sigma0 ->
+          (* Accumulate CV error per θ over the folds. *)
+          let acc = ref [||] in
+          let n_err = ref max_int in
+          for fold = 0 to config.n_folds - 1 do
+            let train, test = Dataset.split_fold d ~n_folds:config.n_folds ~fold in
+            let _, errs =
+              greedy_pass ~train ~test:(Some test) ~r0 ~sigma0
+                ~theta_max:config.theta_max
+            in
+            n_err := Stdlib.min !n_err (Array.length errs);
+            if fold = 0 then acc := Array.copy errs
+            else
+              for i = 0 to Stdlib.min (Array.length !acc) (Array.length errs) - 1 do
+                !acc.(i) <- !acc.(i) +. errs.(i)
+              done
+          done;
+          let n_err = Stdlib.min !n_err (Array.length !acc) in
+          for theta_i = 0 to n_err - 1 do
+            let e = !acc.(theta_i) /. float_of_int config.n_folds in
+            match !best with
+            | Some (_, _, _, e_best) when e >= e_best -> ()
+            | _ -> best := Some (r0, sigma0, theta_i + 1, e)
+          done)
+        config.sigma0_grid)
+    config.r0_grid;
+  match !best with
+  | None -> invalid_arg "Init.run: empty grid or degenerate data"
+  | Some (r0, sigma0, theta, cv_error) ->
+      (* Step 16-17: refit on all samples with the winning triple. *)
+      let support, _ =
+        greedy_pass ~train:d ~test:None ~r0 ~sigma0 ~theta_max:theta
+      in
+      let lambda = Array.make d.Dataset.n_basis config.lambda_off in
+      Array.iter (fun s -> lambda.(s) <- 1.0) support;
+      let prior =
+        Prior.create ~lambda ~r:(Prior.r_of_r0 ~n_states:d.Dataset.n_states ~r0)
+          ~sigma0
+      in
+      { support; r0; sigma0; theta; cv_error; prior }

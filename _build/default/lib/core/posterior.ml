@@ -1,0 +1,264 @@
+open Cbmf_linalg
+open Cbmf_model
+
+type t = {
+  mu : Mat.t;
+  sigma_blocks : (int * Mat.t) array;
+  active : int array;
+  nlml : float;
+  resid_sq : float;
+  trace_ginv : float;
+  nk : int;
+  predictive : state:int -> Vec.t -> float * float;
+}
+
+(* Assemble G = σ0²I + DADᵀ block-wise: block (k,k') is
+   R[k,k']·(S_k S_{k'}ᵀ) where S_k is B_k restricted to the active
+   columns and scaled by sqrt(λ). *)
+let assemble_g (d : Dataset.t) (prior : Prior.t) ~(s_mats : Mat.t array) =
+  let k = d.Dataset.n_states and n = d.Dataset.n_samples in
+  let nk = k * n in
+  let g = Array.make (nk * nk) 0.0 in
+  for k1 = 0 to k - 1 do
+    for k2 = k1 to k - 1 do
+      let r12 = Mat.get prior.Prior.r k1 k2 in
+      if r12 <> 0.0 then begin
+        let p = Mat.matmul_nt s_mats.(k1) s_mats.(k2) in
+        for i = 0 to n - 1 do
+          let gi = ((k1 * n) + i) * nk in
+          let pi = i * n in
+          for j = 0 to n - 1 do
+            let v = r12 *. p.Mat.data.(pi + j) in
+            g.(gi + (k2 * n) + j) <- g.(gi + (k2 * n) + j) +. v;
+            if k1 <> k2 then begin
+              let gj = ((k2 * n) + j) * nk in
+              g.(gj + (k1 * n) + i) <- g.(gj + (k1 * n) + i) +. v
+            end
+          done
+        done
+      end
+    done
+  done;
+  let s2 = prior.Prior.sigma0 *. prior.Prior.sigma0 in
+  for i = 0 to nk - 1 do
+    g.((i * nk) + i) <- g.((i * nk) + i) +. s2
+  done;
+  Mat.unsafe_of_flat ~rows:nk ~cols:nk g
+
+let compute ?(need_sigma = true) (d : Dataset.t) (prior : Prior.t) ~active =
+  let k = d.Dataset.n_states
+  and n = d.Dataset.n_samples
+  and m = d.Dataset.n_basis in
+  assert (Prior.n_basis prior = m);
+  assert (Prior.n_states prior = k);
+  let a = Array.length active in
+  assert (a > 0);
+  Array.iter (fun i -> assert (i >= 0 && i < m)) active;
+  let nk = k * n in
+  (* Active-column design slices, raw and sqrt(λ)-scaled. *)
+  let b_act = Array.map (fun bmat -> Mat.select_cols bmat active) d.Dataset.design in
+  let sqrt_lambda = Array.map (fun j -> sqrt prior.Prior.lambda.(j)) active in
+  let s_mats =
+    Array.map
+      (fun (bm : Mat.t) ->
+        Mat.init bm.Mat.rows a (fun i j -> Mat.get bm i j *. sqrt_lambda.(j)))
+      b_act
+  in
+  let g = assemble_g d prior ~s_mats in
+  let chol = Chol.factorize_with_retry g in
+  (* Flat response, state-major. *)
+  let y = Array.make nk 0.0 in
+  for s = 0 to k - 1 do
+    Array.blit d.Dataset.response.(s) 0 y (s * n) n
+  done;
+  let z = Chol.solve_vec chol y in
+  (* v: a×k with v.(j).(s) = B_s[:,active_j]ᵀ z_s. *)
+  let v = Array.make_matrix a k 0.0 in
+  for s = 0 to k - 1 do
+    let bm = b_act.(s) in
+    for i = 0 to n - 1 do
+      let zi = z.((s * n) + i) in
+      if zi <> 0.0 then begin
+        let row = i * a in
+        for j = 0 to a - 1 do
+          v.(j).(s) <- v.(j).(s) +. (zi *. bm.Mat.data.(row + j))
+        done
+      end
+    done
+  done;
+  (* μ_m = λ_m · R · v_m. *)
+  let mu = Mat.create m k in
+  Array.iteri
+    (fun j col ->
+      let lam = prior.Prior.lambda.(col) in
+      if lam > 0.0 then begin
+        let rv = Mat.mat_vec prior.Prior.r v.(j) in
+        for s = 0 to k - 1 do
+          Mat.set mu col s (lam *. rv.(s))
+        done
+      end)
+    active;
+  (* Residual ‖y − Dμ‖². *)
+  let resid_sq = ref 0.0 in
+  for s = 0 to k - 1 do
+    let bm = b_act.(s) in
+    for i = 0 to n - 1 do
+      let pred = ref 0.0 in
+      let row = i * a in
+      for j = 0 to a - 1 do
+        pred := !pred +. (bm.Mat.data.(row + j) *. Mat.get mu active.(j) s)
+      done;
+      let e = y.((s * n) + i) -. !pred in
+      resid_sq := !resid_sq +. (e *. e)
+    done
+  done;
+  let nlml = Vec.dot y z +. Chol.log_det chol in
+  let sigma_blocks, trace_ginv =
+    if not need_sigma then ([||], 0.0)
+    else begin
+      let ginv = Chol.inverse chol in
+      let trace_ginv = Mat.trace ginv in
+      (* W_j[k1,k2] = B_{k1}[:,j]ᵀ · Ginv_blk(k1,k2) · B_{k2}[:,j]. *)
+      let w = Array.init a (fun _ -> Mat.create k k) in
+      let zbuf = Mat.create n a in
+      for k1 = 0 to k - 1 do
+        for k2 = k1 to k - 1 do
+          (* zbuf = Ginv_blk(k1,k2) · B_{k2,act}. *)
+          Mat.scale_inplace zbuf 0.0;
+          let b2 = b_act.(k2) in
+          for i = 0 to n - 1 do
+            let gi = ((k1 * n) + i) * (k * n) in
+            let zrow = i * a in
+            for i2 = 0 to n - 1 do
+              let gv = ginv.Mat.data.(gi + (k2 * n) + i2) in
+              if gv <> 0.0 then begin
+                let brow = i2 * a in
+                for j = 0 to a - 1 do
+                  zbuf.Mat.data.(zrow + j) <-
+                    zbuf.Mat.data.(zrow + j)
+                    +. (gv *. b2.Mat.data.(brow + j))
+                done
+              end
+            done
+          done;
+          let b1 = b_act.(k1) in
+          let acc = Array.make a 0.0 in
+          for i = 0 to n - 1 do
+            let brow = i * a and zrow = i * a in
+            for j = 0 to a - 1 do
+              acc.(j) <-
+                acc.(j) +. (b1.Mat.data.(brow + j) *. zbuf.Mat.data.(zrow + j))
+            done
+          done;
+          for j = 0 to a - 1 do
+            Mat.set w.(j) k1 k2 acc.(j);
+            if k1 <> k2 then Mat.set w.(j) k2 k1 acc.(j)
+          done
+        done
+      done;
+      let blocks =
+        Array.mapi
+          (fun j col ->
+            let lam = prior.Prior.lambda.(col) in
+            let rw = Mat.matmul prior.Prior.r w.(j) in
+            let rwr = Mat.matmul rw prior.Prior.r in
+            let s = Mat.sub (Mat.scale lam prior.Prior.r) (Mat.scale (lam *. lam) rwr) in
+            Mat.symmetrize_inplace s;
+            (col, s))
+          active
+      in
+      (blocks, trace_ginv)
+    end
+  in
+  (* Exact posterior-predictive functional: for the selector a of
+     (basis row b, state s), aᵀA a = R[s,s]·Σ_m λ_m b_m² and
+     w = D·A·a has state-k' block R[k',s]·B_{k'}(λ ∘ b), so the
+     variance is aᵀA a − wᵀG⁻¹w via the cached Cholesky of G. *)
+  let predictive ~state (b : Vec.t) =
+    assert (state >= 0 && state < k);
+    assert (Array.length b = m);
+    let mean = ref 0.0 in
+    Array.iter (fun col -> mean := !mean +. (b.(col) *. Mat.get mu col state)) active;
+    let t_act = Array.map (fun col -> prior.Prior.lambda.(col) *. b.(col)) active in
+    let a_aa = ref 0.0 in
+    Array.iteri
+      (fun j col -> a_aa := !a_aa +. (t_act.(j) *. b.(col)))
+      active;
+    let a_aa = Mat.get prior.Prior.r state state *. !a_aa in
+    let w = Array.make nk 0.0 in
+    for s = 0 to k - 1 do
+      let rks = Mat.get prior.Prior.r s state in
+      if rks <> 0.0 then begin
+        let bm = b_act.(s) in
+        for i = 0 to n - 1 do
+          let row = i * a in
+          let acc = ref 0.0 in
+          for j = 0 to a - 1 do
+            acc := !acc +. (bm.Mat.data.(row + j) *. t_act.(j))
+          done;
+          w.((s * n) + i) <- rks *. !acc
+        done
+      end
+    done;
+    let var = a_aa -. Chol.quad_inv chol w in
+    (!mean, Float.max var 0.0)
+  in
+  {
+    mu;
+    sigma_blocks;
+    active;
+    nlml;
+    resid_sq = !resid_sq;
+    trace_ginv;
+    nk;
+    predictive;
+  }
+
+let coefficients t = Mat.transpose t.mu
+
+(* Dense reference path: builds D (NK × MK), A (MK × MK) and applies
+   eqs. (19)-(21) literally.  O((MK)³) — test-sized inputs only. *)
+let naive_dense (d : Dataset.t) (prior : Prior.t) =
+  let k = d.Dataset.n_states
+  and n = d.Dataset.n_samples
+  and m = d.Dataset.n_basis in
+  let nk = k * n and mk = m * k in
+  assert (mk <= 512);
+  (* Column order: basis-major, (m, k) ↦ m·K + k.  Row order:
+     state-major, (k, n) ↦ k·N + n. *)
+  let dmat = Mat.create nk mk in
+  for s = 0 to k - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to m - 1 do
+        Mat.set dmat ((s * n) + i) ((j * k) + s) (Mat.get d.Dataset.design.(s) i j)
+      done
+    done
+  done;
+  let amat = Mat.create mk mk in
+  for j = 0 to m - 1 do
+    for s1 = 0 to k - 1 do
+      for s2 = 0 to k - 1 do
+        Mat.set amat ((j * k) + s1) ((j * k) + s2)
+          (prior.Prior.lambda.(j) *. Mat.get prior.Prior.r s1 s2)
+      done
+    done
+  done;
+  let y = Array.make nk 0.0 in
+  for s = 0 to k - 1 do
+    Array.blit d.Dataset.response.(s) 0 y (s * n) n
+  done;
+  let da = Mat.matmul dmat amat in
+  let dad = Mat.matmul_nt da dmat in
+  let g = Mat.copy dad in
+  Mat.add_diag_inplace g (prior.Prior.sigma0 *. prior.Prior.sigma0);
+  let chol = Chol.factorize_with_retry g in
+  let z = Chol.solve_vec chol y in
+  (* μ = A Dᵀ G⁻¹ y. *)
+  let adt = Mat.transpose da in
+  let mu_flat = Mat.mat_vec adt z in
+  let mu = Mat.init m k (fun j s -> mu_flat.((j * k) + s)) in
+  (* Σp = A − A Dᵀ G⁻¹ D A. *)
+  let ginv_da = Chol.solve_mat chol da in
+  let sigma = Mat.sub amat (Mat.matmul_tn da ginv_da) in
+  let nlml = Vec.dot y z +. Chol.log_det chol in
+  (mu, sigma, nlml)

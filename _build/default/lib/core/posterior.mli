@@ -1,0 +1,50 @@
+(** Structured Bayesian posterior for the C-BMF prior (paper §3.2).
+
+    Implements eqs. (19)–(22) without ever forming the (M·K)-sized
+    objects.  With samples ordered state-major, the marginal Gram
+    matrix G = σ0²I + D·A·Dᵀ has (k,k′) block R[k,k′]·(B_k Λ B_{k′}ᵀ),
+    so one (N·K)-sized Cholesky plus per-basis contractions give
+
+    - μ_m = λ_m·R·v_m          with v_m = (Dᵐ)ᵀ G⁻¹ y,
+    - Σ_m = λ_m·R − λ_m²·R·W_m·R   with W_m = (Dᵐ)ᵀ G⁻¹ Dᵐ,
+
+    where Dᵐ touches only state k's rows in column k.  The negative
+    log marginal likelihood of eq. (25) falls out of the same
+    factorization. *)
+
+open Cbmf_linalg
+open Cbmf_model
+
+type t = {
+  mu : Mat.t;  (** M×K posterior mean; row m is μ_m (zero if inactive) *)
+  sigma_blocks : (int * Mat.t) array;
+      (** (m, Σ_m) for every active m — only when requested *)
+  active : int array;
+  nlml : float;  (** eq. (25): yᵀG⁻¹y + log det G *)
+  resid_sq : float;  (** ‖y − D·μ‖² *)
+  trace_ginv : float;  (** Tr(G⁻¹) (0 when covariance not requested) *)
+  nk : int;
+  predictive : state:int -> Vec.t -> float * float;
+      (** [(mean, variance)] of the latent model value for one basis row
+          (length M, same units as the training design) at one state.
+          The variance is the exact posterior-predictive
+          [aᵀΣ_p a = aᵀA a − wᵀG⁻¹w] of the coefficient functional —
+          add σ0² for the observation noise. *)
+}
+
+val compute :
+  ?need_sigma:bool -> Dataset.t -> Prior.t -> active:int array -> t
+(** [compute data prior ~active] evaluates the posterior restricted to
+    the active basis set (inactive λ are treated as exactly 0).
+    [need_sigma] (default true) additionally computes G⁻¹, the Σ_m
+    blocks and Tr(G⁻¹) — needed by the EM M-step but not by
+    MAP-coefficient extraction. *)
+
+val coefficients : t -> Mat.t
+(** K×M coefficient matrix (the MAP solution of eq. 22, transposed
+    into the per-state layout used by the rest of the code base). *)
+
+val naive_dense : Dataset.t -> Prior.t -> Mat.t * Mat.t * float
+(** Reference implementation that builds the full (M·K) system of
+    eqs. (19)–(21) densely: returns (μ as M×K, Σ_p as MK×MK, nlml).
+    Exponential-cost guardrails: only for tiny test instances. *)

@@ -1,0 +1,32 @@
+open Cbmf_linalg
+
+type t = { lambda : Vec.t; r : Mat.t; sigma0 : float }
+
+let create ~lambda ~r ~sigma0 =
+  assert (sigma0 > 0.0);
+  assert (Mat.is_square r);
+  assert (Mat.is_symmetric ~tol:1e-8 r);
+  Array.iter (fun l -> assert (l >= 0.0)) lambda;
+  assert (Chol.is_positive_definite r);
+  { lambda; r; sigma0 }
+
+let r_of_r0 ~n_states ~r0 =
+  assert (r0 >= 0.0 && r0 < 1.0);
+  Mat.init n_states n_states (fun i j -> r0 ** float_of_int (abs (i - j)))
+
+let identity_r ~n_states = Mat.identity n_states
+
+let active_set p ~tol =
+  let lmax = Array.fold_left Float.max 0.0 p.lambda in
+  if lmax <= 0.0 then Array.init (Array.length p.lambda) (fun i -> i)
+  else begin
+    let keep = ref [] in
+    for m = Array.length p.lambda - 1 downto 0 do
+      if p.lambda.(m) > tol *. lmax then keep := m :: !keep
+    done;
+    Array.of_list !keep
+  end
+
+let n_basis p = Array.length p.lambda
+
+let n_states p = p.r.Mat.rows

@@ -1,0 +1,33 @@
+(** The C-BMF prior (paper §3.1).
+
+    Coefficients of basis function m across the K states form the
+    column vector α_m with prior N(0, λ_m·R): one sparsity
+    hyper-parameter per basis function (shared template) and one K×K
+    correlation matrix shared by all basis functions (eq. 9),
+    capturing coefficient-magnitude correlation between states. *)
+
+open Cbmf_linalg
+
+type t = {
+  lambda : Vec.t;  (** length M, all ≥ 0 *)
+  r : Mat.t;  (** K×K symmetric positive definite *)
+  sigma0 : float;  (** noise standard deviation, > 0 *)
+}
+
+val create : lambda:Vec.t -> r:Mat.t -> sigma0:float -> t
+(** Validates shapes, positivity of [sigma0], symmetry and positive
+    definiteness of [r]. *)
+
+val r_of_r0 : n_states:int -> r0:float -> Mat.t
+(** The parameterized correlation matrix of eq. 32:
+    R[i,j] = r0^|i−j| with 0 ≤ r0 < 1 — nearby knob states are
+    strongly correlated, distant ones weakly. *)
+
+val identity_r : n_states:int -> Mat.t
+
+val active_set : t -> tol:float -> int array
+(** Indices with λ_m > tol · max λ (all indices when max λ = 0). *)
+
+val n_basis : t -> int
+
+val n_states : t -> int

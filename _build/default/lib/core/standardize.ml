@@ -1,0 +1,137 @@
+open Cbmf_linalg
+open Cbmf_model
+
+type t = {
+  n_states : int;
+  n_basis_raw : int;
+  kept : int array;
+  constant_col : int option;
+  y_means : float array;
+  y_scale : float;
+  col_means : Mat.t; (* K × M_raw *)
+  col_scales : float array; (* M_raw; 1.0 for dropped columns *)
+}
+
+let fit (d : Dataset.t) =
+  let k = d.Dataset.n_states
+  and n = d.Dataset.n_samples
+  and m = d.Dataset.n_basis in
+  let y_means = Array.map Vec.mean d.Dataset.response in
+  let y_var = ref 0.0 in
+  for s = 0 to k - 1 do
+    Array.iter
+      (fun y ->
+        let dv = y -. y_means.(s) in
+        y_var := !y_var +. (dv *. dv))
+      d.Dataset.response.(s)
+  done;
+  let y_scale =
+    let denom = float_of_int (Stdlib.max ((k * n) - k) 1) in
+    Float.max (sqrt (!y_var /. denom)) 1e-12
+  in
+  let col_means = Mat.create k m in
+  for s = 0 to k - 1 do
+    let b = d.Dataset.design.(s) in
+    for j = 0 to m - 1 do
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc := !acc +. Mat.get b i j
+      done;
+      Mat.set col_means s j (!acc /. float_of_int n)
+    done
+  done;
+  (* Pooled centered column scale. *)
+  let col_scales = Array.make m 1.0 in
+  let kept = ref [] and constant_col = ref None in
+  for j = m - 1 downto 0 do
+    let acc = ref 0.0 and mag = ref 0.0 in
+    for s = 0 to k - 1 do
+      let b = d.Dataset.design.(s) in
+      let mu = Mat.get col_means s j in
+      for i = 0 to n - 1 do
+        let dv = Mat.get b i j -. mu in
+        acc := !acc +. (dv *. dv);
+        mag := Float.max !mag (abs_float (Mat.get b i j))
+      done
+    done;
+    let denom = float_of_int (Stdlib.max ((k * n) - k) 1) in
+    let sd = sqrt (!acc /. denom) in
+    if sd <= 1e-10 *. Float.max 1.0 !mag then begin
+      (* Constant (or empty) column: dropped from the Bayesian problem. *)
+      if !mag > 0.0 then constant_col := Some j
+    end
+    else begin
+      col_scales.(j) <- sd;
+      kept := j :: !kept
+    end
+  done;
+  let tr =
+    {
+      n_states = k;
+      n_basis_raw = m;
+      kept = Array.of_list !kept;
+      constant_col = !constant_col;
+      y_means;
+      y_scale;
+      col_means;
+      col_scales;
+    }
+  in
+  tr
+
+let apply tr (d : Dataset.t) =
+  assert (d.Dataset.n_states = tr.n_states);
+  assert (d.Dataset.n_basis = tr.n_basis_raw);
+  let design =
+    Array.init tr.n_states (fun s ->
+        let b = d.Dataset.design.(s) in
+        Mat.init b.Mat.rows (Array.length tr.kept) (fun i j ->
+            let c = tr.kept.(j) in
+            (Mat.get b i c -. Mat.get tr.col_means s c) /. tr.col_scales.(c)))
+  in
+  let response =
+    Array.init tr.n_states (fun s ->
+        Array.map
+          (fun y -> (y -. tr.y_means.(s)) /. tr.y_scale)
+          d.Dataset.response.(s))
+  in
+  Dataset.create ~design ~response
+
+let fit d =
+  let tr = fit d in
+  (tr, apply tr d)
+
+let standardize_row tr ~state (row : Vec.t) =
+  assert (state >= 0 && state < tr.n_states);
+  assert (Array.length row = tr.n_basis_raw);
+  Array.map
+    (fun c -> (row.(c) -. Mat.get tr.col_means state c) /. tr.col_scales.(c))
+    tr.kept
+
+let kept_columns tr = Array.copy tr.kept
+
+let response_scale tr = tr.y_scale
+
+let response_mean tr k = tr.y_means.(k)
+
+let unstandardize_coeffs tr (c : Mat.t) =
+  assert (c.Mat.rows = tr.n_states);
+  assert (c.Mat.cols = Array.length tr.kept);
+  let out = Mat.create tr.n_states tr.n_basis_raw in
+  for s = 0 to tr.n_states - 1 do
+    let intercept = ref tr.y_means.(s) in
+    Array.iteri
+      (fun j col ->
+        let raw = Mat.get c s j *. tr.y_scale /. tr.col_scales.(col) in
+        Mat.set out s col raw;
+        intercept := !intercept -. (raw *. Mat.get tr.col_means s col))
+      tr.kept;
+    match tr.constant_col with
+    | Some col ->
+        (* The constant basis evaluates to its stored magnitude; our
+           dictionaries use exactly 1, so the coefficient is the
+           intercept itself. *)
+        Mat.set out s col !intercept
+    | None -> ()
+  done;
+  out

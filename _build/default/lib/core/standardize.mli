@@ -1,0 +1,41 @@
+(** Standardization of a multi-state dataset for Bayesian fitting.
+
+    The Gaussian prior of C-BMF is only meaningful when the regression
+    problem is dimensionless: responses are centered per state and
+    scaled by their pooled standard deviation; every non-constant basis
+    column is centered per state and scaled by a pooled (shared across
+    states, so template sharing is preserved) column norm; constant
+    columns are dropped from the Bayesian problem and their per-state
+    intercepts reconstructed when mapping coefficients back to raw
+    units. *)
+
+open Cbmf_linalg
+open Cbmf_model
+
+type t
+(** The fitted transform (means, scales, dropped columns). *)
+
+val fit : Dataset.t -> t * Dataset.t
+(** Learn the transform on a training dataset and return the
+    standardized dataset (columns = kept basis functions only). *)
+
+val apply : t -> Dataset.t -> Dataset.t
+(** Standardize another dataset (e.g. a CV fold) with an existing
+    transform. *)
+
+val kept_columns : t -> int array
+(** Original column indices of the standardized columns. *)
+
+val standardize_row : t -> state:int -> Vec.t -> Vec.t
+(** Map one raw dictionary row (length M) into the standardized basis
+    (length M′ = kept columns), using state [state]'s centering. *)
+
+val unstandardize_coeffs : t -> Mat.t -> Mat.t
+(** Map a K×M′ coefficient matrix on the standardized problem back to
+    a K×M matrix on the raw problem, filling per-state intercepts into
+    the constant column (the first detected constant column, if any). *)
+
+val response_scale : t -> float
+
+val response_mean : t -> int -> float
+(** Training mean of state [k]'s response. *)

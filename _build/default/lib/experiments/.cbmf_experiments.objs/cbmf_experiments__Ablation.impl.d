@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Cbmf_core Cbmf_model Format Metrics Somp String Sys Workload

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Cbmf_circuit Cbmf_core Cbmf_model Float Format Metrics Printf Somp String Sys Testbench Workload

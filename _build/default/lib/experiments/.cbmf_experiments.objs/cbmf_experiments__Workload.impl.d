@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: Array Cbmf_basis Cbmf_circuit Cbmf_model Cbmf_prob Dataset Lna Mixer Montecarlo Rng Testbench

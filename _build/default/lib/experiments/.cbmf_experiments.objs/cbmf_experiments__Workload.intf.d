@@ -1,0 +1,1 @@
+lib/experiments/workload.mli: Cbmf_basis Cbmf_circuit Cbmf_model Cbmf_prob Dataset Montecarlo Testbench

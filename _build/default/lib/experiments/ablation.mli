@@ -1,0 +1,23 @@
+(** Ablation studies on the design choices C-BMF stacks on top of
+    S-OMP: magnitude correlation (R), EM refinement, and the r0
+    initialization grid. *)
+
+type entry = {
+  label : string;
+  error : float;  (** relative RMS on the testing set *)
+  seconds : float;
+}
+
+type t = {
+  workload_name : string;
+  poi : string;
+  n_per_state : int;
+  entries : entry array;
+}
+
+val run : Workload.data -> poi:int -> n_per_state:int -> t
+(** Compares: S-OMP (baseline), C-BMF full, C-BMF with R ≡ I (no
+    magnitude correlation), C-BMF init-only (no EM), and C-BMF with a
+    single-point r0 grid (no r0 cross-validation). *)
+
+val pp : Format.formatter -> t -> unit

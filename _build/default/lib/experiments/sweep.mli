@@ -1,0 +1,42 @@
+(** Sample-size sweeps: the experiment behind Figures 2(b)–(d) and
+    3(b)–(d) — modeling error vs number of training samples, S-OMP vs
+    C-BMF, for every performance of interest. *)
+
+type point = {
+  n_per_state : int;
+  n_total : int;
+  somp_error : float;  (** relative RMS on the testing set *)
+  somp_theta : int;
+  somp_seconds : float;
+  cbmf_error : float;
+  cbmf_theta : int;
+  cbmf_r0 : float;
+  cbmf_seconds : float;
+}
+
+type series = {
+  workload_name : string;
+  poi : string;
+  points : point array;
+}
+
+val run :
+  ?cbmf_config:Cbmf_core.Cbmf.config ->
+  ?somp_terms:int array ->
+  Workload.data ->
+  poi:int ->
+  n_grid:int array ->
+  series
+(** Fit both methods at every budget in [n_grid] (samples per state)
+    and score them on the held-out testing set. *)
+
+val run_all :
+  ?cbmf_config:Cbmf_core.Cbmf.config ->
+  ?n_grid:int array ->
+  Workload.data ->
+  series array
+(** One series per PoI; default grid {10, 15, 20, 25, 30, 35}. *)
+
+val pp : Format.formatter -> series -> unit
+(** Render as the text analogue of the paper's figure: one row per
+    sample budget, columns for both methods. *)

@@ -1,0 +1,107 @@
+open Cbmf_model
+open Cbmf_circuit
+
+type row = { poi : string; somp_error : float; cbmf_error : float }
+
+type t = {
+  workload_name : string;
+  somp_samples : int;
+  cbmf_samples : int;
+  rows : row array;
+  somp_sim_hours : float;
+  cbmf_sim_hours : float;
+  somp_fit_seconds : float;
+  cbmf_fit_seconds : float;
+  somp_overall_hours : float;
+  cbmf_overall_hours : float;
+  cost_reduction : float;
+}
+
+let run ?(cbmf_config = Cbmf_core.Cbmf.default_config) ?(somp_n_per_state = 35)
+    ?(cbmf_n_per_state = 15) (data : Workload.data) =
+  let w = data.Workload.workload in
+  let tb = w.Workload.testbench in
+  let k = Testbench.n_states tb in
+  let n_pois = Testbench.n_pois tb in
+  let somp_fit_seconds = ref 0.0 and cbmf_fit_seconds = ref 0.0 in
+  let rows =
+    Array.init n_pois (fun poi ->
+        let test = Workload.test_dataset data ~poi in
+        let train_somp =
+          Workload.train_dataset data ~poi ~n_per_state:somp_n_per_state
+        in
+        let train_cbmf =
+          Workload.train_dataset data ~poi ~n_per_state:cbmf_n_per_state
+        in
+        let t0 = Sys.time () in
+        let somp, _ =
+          Somp.fit_cv train_somp ~n_folds:4
+            ~candidate_terms:[| 5; 10; 15; 20; 25; 30 |]
+        in
+        somp_fit_seconds := !somp_fit_seconds +. (Sys.time () -. t0);
+        let model = Cbmf_core.Cbmf.fit ~config:cbmf_config train_cbmf in
+        cbmf_fit_seconds :=
+          !cbmf_fit_seconds +. model.Cbmf_core.Cbmf.info.Cbmf_core.Cbmf.fit_seconds;
+        {
+          poi = Workload.poi_name w poi;
+          somp_error = Metrics.coeffs_error_pooled ~coeffs:somp.Somp.coeffs test;
+          cbmf_error = Cbmf_core.Cbmf.test_error model test;
+        })
+  in
+  let somp_samples = somp_n_per_state * k in
+  let cbmf_samples = cbmf_n_per_state * k in
+  let somp_sim_hours = Testbench.simulation_cost_hours tb ~n_samples:somp_samples in
+  let cbmf_sim_hours = Testbench.simulation_cost_hours tb ~n_samples:cbmf_samples in
+  let somp_overall_hours = somp_sim_hours +. (!somp_fit_seconds /. 3600.0) in
+  let cbmf_overall_hours = cbmf_sim_hours +. (!cbmf_fit_seconds /. 3600.0) in
+  {
+    workload_name = w.Workload.name;
+    somp_samples;
+    cbmf_samples;
+    rows;
+    somp_sim_hours;
+    cbmf_sim_hours;
+    somp_fit_seconds = !somp_fit_seconds;
+    cbmf_fit_seconds = !cbmf_fit_seconds;
+    somp_overall_hours;
+    cbmf_overall_hours;
+    cost_reduction = somp_overall_hours /. cbmf_overall_hours;
+  }
+
+let pp ppf t =
+  let line name f1 f2 =
+    Format.fprintf ppf "  %-34s %12s %12s@," name f1 f2
+  in
+  Format.fprintf ppf "@[<v 0>";
+  Format.fprintf ppf "Table: performance modeling error and cost for %s@,"
+    (String.uppercase_ascii t.workload_name);
+  line "" "S-OMP" "C-BMF";
+  line "Number of training samples"
+    (string_of_int t.somp_samples)
+    (string_of_int t.cbmf_samples);
+  Array.iter
+    (fun r ->
+      line
+        (Printf.sprintf "Modeling error for %s" r.poi)
+        (Printf.sprintf "%.3f%%" (100.0 *. r.somp_error))
+        (Printf.sprintf "%.3f%%" (100.0 *. r.cbmf_error)))
+    t.rows;
+  line "Simulation cost (hours)"
+    (Printf.sprintf "%.2f" t.somp_sim_hours)
+    (Printf.sprintf "%.2f" t.cbmf_sim_hours);
+  line "Fitting cost (sec.)"
+    (Printf.sprintf "%.2f" t.somp_fit_seconds)
+    (Printf.sprintf "%.2f" t.cbmf_fit_seconds);
+  line "Overall modeling cost (hours)"
+    (Printf.sprintf "%.2f" t.somp_overall_hours)
+    (Printf.sprintf "%.2f" t.cbmf_overall_hours);
+  Format.fprintf ppf "  Cost reduction: %.2fx@," t.cost_reduction;
+  Format.fprintf ppf "@]"
+
+let accuracy_preserved t =
+  (* 10 % relative slack, or 0.05 pp absolute for errors so small that
+     the relative criterion is dominated by test-set noise. *)
+  Array.for_all
+    (fun r ->
+      r.cbmf_error <= Float.max (1.1 *. r.somp_error) (r.somp_error +. 5e-4))
+    t.rows

@@ -1,0 +1,38 @@
+(** The paper's Tables 1 and 2: error and cost comparison at the
+    paper's sample budgets — S-OMP with 1120 training samples (35 per
+    state) vs C-BMF with 480 (15 per state). *)
+
+type row = {
+  poi : string;
+  somp_error : float;
+  cbmf_error : float;
+}
+
+type t = {
+  workload_name : string;
+  somp_samples : int;  (** total *)
+  cbmf_samples : int;
+  rows : row array;
+  somp_sim_hours : float;
+  cbmf_sim_hours : float;
+  somp_fit_seconds : float;  (** summed over PoIs, measured *)
+  cbmf_fit_seconds : float;
+  somp_overall_hours : float;
+  cbmf_overall_hours : float;
+  cost_reduction : float;  (** S-OMP overall / C-BMF overall *)
+}
+
+val run :
+  ?cbmf_config:Cbmf_core.Cbmf.config ->
+  ?somp_n_per_state:int ->
+  ?cbmf_n_per_state:int ->
+  Workload.data ->
+  t
+(** Defaults: 35 vs 15 samples per state, matching the paper. *)
+
+val pp : Format.formatter -> t -> unit
+
+val accuracy_preserved : t -> bool
+(** True when C-BMF's error is within 10 % (relative) — or 0.05
+    percentage points (absolute), whichever is looser — of S-OMP's on
+    every PoI: the paper's "without surrendering any accuracy". *)

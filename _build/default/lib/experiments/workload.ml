@@ -1,0 +1,56 @@
+open Cbmf_prob
+open Cbmf_circuit
+open Cbmf_model
+
+type t = {
+  name : string;
+  testbench : Testbench.t;
+  dictionary : Cbmf_basis.Dictionary.t;
+}
+
+let lna () =
+  let testbench = Lna.create () in
+  {
+    name = "lna";
+    testbench;
+    dictionary = Cbmf_basis.Dictionary.linear (Testbench.dim testbench);
+  }
+
+let mixer () =
+  let testbench = Mixer.create () in
+  {
+    name = "mixer";
+    testbench;
+    dictionary = Cbmf_basis.Dictionary.linear (Testbench.dim testbench);
+  }
+
+type data = {
+  workload : t;
+  train_pool : Montecarlo.t;
+  test : Montecarlo.t;
+}
+
+let generate w ~seed ~n_train_max ~n_test_per_state =
+  let rng = Rng.create seed in
+  let train_pool = Montecarlo.generate w.testbench rng ~n_per_state:n_train_max in
+  let test = Montecarlo.generate w.testbench rng ~n_per_state:n_test_per_state in
+  { workload = w; train_pool; test }
+
+let to_dataset w (mc : Montecarlo.t) ~poi =
+  let k = Testbench.n_states w.testbench in
+  let design =
+    Array.init k (fun s ->
+        Cbmf_basis.Dictionary.design_matrix w.dictionary
+          mc.Montecarlo.states.(s).Montecarlo.xs)
+  in
+  let response =
+    Array.init k (fun s -> Montecarlo.poi_column mc ~state:s ~poi)
+  in
+  Dataset.create ~design ~response
+
+let train_dataset d ~poi ~n_per_state =
+  to_dataset d.workload (Montecarlo.truncate d.train_pool ~n:n_per_state) ~poi
+
+let test_dataset d ~poi = to_dataset d.workload d.test ~poi
+
+let poi_name w i = w.testbench.Testbench.poi_names.(i)

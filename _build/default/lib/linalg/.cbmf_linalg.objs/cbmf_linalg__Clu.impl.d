@@ -1,0 +1,1 @@
+lib/linalg/clu.ml: Array Cmat Float

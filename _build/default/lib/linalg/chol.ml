@@ -1,0 +1,185 @@
+type t = { n : int; l : float array (* row-major lower triangle, full n×n *) }
+
+exception Not_positive_definite of int
+
+let factorize ?(jitter = 0.0) (a : Mat.t) =
+  assert (Mat.is_square a);
+  let n = a.Mat.rows in
+  let l = Array.make (n * n) 0.0 in
+  (* Copy the lower triangle (with jitter on the diagonal). *)
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      l.((i * n) + j) <-
+        (a.Mat.data.((i * n) + j) +. if i = j then jitter else 0.0)
+    done
+  done;
+  (* Left-looking Cholesky on the packed copy. *)
+  for j = 0 to n - 1 do
+    let jj = (j * n) + j in
+    let s = ref l.(jj) in
+    for k = 0 to j - 1 do
+      let ljk = l.((j * n) + k) in
+      s := !s -. (ljk *. ljk)
+    done;
+    if !s <= 0.0 || Float.is_nan !s then raise (Not_positive_definite j);
+    let d = sqrt !s in
+    l.(jj) <- d;
+    for i = j + 1 to n - 1 do
+      let s = ref l.((i * n) + j) in
+      for k = 0 to j - 1 do
+        s := !s -. (l.((i * n) + k) *. l.((j * n) + k))
+      done;
+      l.((i * n) + j) <- !s /. d
+    done
+  done;
+  { n; l }
+
+let factorize_with_retry ?(max_tries = 8) a =
+  let base = 1e-12 *. Float.max 1.0 (Mat.max_abs a) in
+  let rec go tries jitter =
+    match factorize ~jitter a with
+    | f -> f
+    | exception Not_positive_definite _ when tries < max_tries ->
+        let jitter = if jitter = 0.0 then base else jitter *. 100.0 in
+        go (tries + 1) jitter
+  in
+  go 0 0.0
+
+let dim f = f.n
+
+let lower f =
+  Mat.init f.n f.n (fun i j -> if j <= i then f.l.((i * f.n) + j) else 0.0)
+
+let forward_sub f (b : Vec.t) =
+  let n = f.n in
+  assert (Array.length b = n);
+  let z = Array.copy b in
+  for i = 0 to n - 1 do
+    let s = ref z.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (f.l.((i * n) + k) *. z.(k))
+    done;
+    z.(i) <- !s /. f.l.((i * n) + i)
+  done;
+  z
+
+let backward_sub_t f (z : Vec.t) =
+  (* Solve lᵀ x = z. *)
+  let n = f.n in
+  let x = Array.copy z in
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (f.l.((k * n) + i) *. x.(k))
+    done;
+    x.(i) <- !s /. f.l.((i * n) + i)
+  done;
+  x
+
+let solve_vec f b = backward_sub_t f (forward_sub f b)
+
+let solve_lower = forward_sub
+
+let solve_mat f (b : Mat.t) =
+  assert (b.Mat.rows = f.n);
+  let x = Mat.create f.n b.Mat.cols in
+  for j = 0 to b.Mat.cols - 1 do
+    Mat.set_col x j (solve_vec f (Mat.col b j))
+  done;
+  x
+
+let inverse f =
+  let inv = solve_mat f (Mat.identity f.n) in
+  Mat.symmetrize_inplace inv;
+  inv
+
+let log_det f =
+  let acc = ref 0.0 in
+  for i = 0 to f.n - 1 do
+    acc := !acc +. log f.l.((i * f.n) + i)
+  done;
+  2.0 *. !acc
+
+let det f = exp (log_det f)
+
+let quad_inv f b =
+  let z = forward_sub f b in
+  Vec.norm2_sq z
+
+let trace_inverse f =
+  (* Tr(a⁻¹) = ‖l⁻¹‖_F²: solve l z = e_i for each i and accumulate. *)
+  let n = f.n in
+  let acc = ref 0.0 in
+  let e = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.fill e 0 n 0.0;
+    e.(i) <- 1.0;
+    (* Only components ≥ i of l⁻¹ e_i are nonzero; exploit that. *)
+    let z = Array.make n 0.0 in
+    for r = i to n - 1 do
+      let s = ref e.(r) in
+      for k = i to r - 1 do
+        s := !s -. (f.l.((r * n) + k) *. z.(k))
+      done;
+      z.(r) <- !s /. f.l.((r * n) + r);
+      acc := !acc +. (z.(r) *. z.(r))
+    done
+  done;
+  !acc
+
+let mahalanobis_sq f x mu = quad_inv f (Vec.sub x mu)
+
+let sample_transform f z =
+  let n = f.n in
+  assert (Array.length z = n);
+  Array.init n (fun i ->
+      let s = ref 0.0 in
+      for k = 0 to i do
+        s := !s +. (f.l.((i * n) + k) *. z.(k))
+      done;
+      !s)
+
+let rank1_update f (v : Vec.t) =
+  let n = f.n in
+  assert (Array.length v = n);
+  for j = 0 to n - 1 do
+    let ljj = f.l.((j * n) + j) in
+    let r = sqrt ((ljj *. ljj) +. (v.(j) *. v.(j))) in
+    let c = r /. ljj in
+    let s = v.(j) /. ljj in
+    f.l.((j * n) + j) <- r;
+    for i = j + 1 to n - 1 do
+      let lij = (f.l.((i * n) + j) +. (s *. v.(i))) /. c in
+      f.l.((i * n) + j) <- lij;
+      v.(i) <- (c *. v.(i)) -. (s *. lij)
+    done
+  done
+
+let copy f = { f with l = Array.copy f.l }
+
+let of_scaled_identity n c =
+  assert (n > 0 && c > 0.0);
+  let l = Array.make (n * n) 0.0 in
+  let d = sqrt c in
+  for i = 0 to n - 1 do
+    l.((i * n) + i) <- d
+  done;
+  { n; l }
+
+let is_positive_definite a =
+  match factorize a with
+  | _ -> true
+  | exception Not_positive_definite _ -> false
+
+let nearest_pd_inplace ?(floor = 1e-10) a =
+  Mat.symmetrize_inplace a;
+  let scale = Float.max 1.0 (Mat.max_abs a) in
+  let rec go boost tries =
+    if tries > 60 then invalid_arg "Chol.nearest_pd_inplace: cannot repair"
+    else if is_positive_definite a then ()
+    else begin
+      Mat.add_diag_inplace a boost;
+      go (boost *. 10.0) (tries + 1)
+    end
+  in
+  go (floor *. scale) 0

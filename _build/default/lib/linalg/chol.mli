@@ -1,0 +1,81 @@
+(** Cholesky factorization of symmetric positive definite matrices and
+    the solves, inverses and determinants built on it.
+
+    A factorization holds the lower-triangular factor [l] with
+    [a = l lᵀ].  All solve routines are O(n²) once the factor exists. *)
+
+type t
+
+exception Not_positive_definite of int
+(** Raised with the failing pivot index when a matrix is not (numerically)
+    positive definite. *)
+
+val factorize : ?jitter:float -> Mat.t -> t
+(** [factorize a] computes the lower Cholesky factor of symmetric
+    positive definite [a].  [jitter] (default [0.]) is added to the
+    diagonal before factorizing — useful for nearly-singular PD
+    matrices.  Raises {!Not_positive_definite} on failure.  Only the
+    lower triangle of [a] is read. *)
+
+val factorize_with_retry : ?max_tries:int -> Mat.t -> t
+(** Like {!factorize} but on failure retries with exponentially growing
+    jitter, starting from [1e-12 · max_abs a].  Raises after
+    [max_tries] (default 8) attempts. *)
+
+val dim : t -> int
+
+val lower : t -> Mat.t
+(** The lower-triangular factor [l] (fresh copy). *)
+
+val solve_vec : t -> Vec.t -> Vec.t
+(** [solve_vec f b] solves [a x = b]. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** [solve_mat f b] solves [a x = b] column-wise. *)
+
+val solve_lower : t -> Vec.t -> Vec.t
+(** [solve_lower f b] solves [l z = b] (forward substitution only);
+    useful for whitening since [zᵀz = bᵀ a⁻¹ b]. *)
+
+val inverse : t -> Mat.t
+(** [a⁻¹] (symmetric). *)
+
+val log_det : t -> float
+(** [log det a]. *)
+
+val det : t -> float
+
+val quad_inv : t -> Vec.t -> float
+(** [quad_inv f b] is [bᵀ a⁻¹ b], computed stably via {!solve_lower}. *)
+
+val trace_inverse : t -> float
+(** [Tr(a⁻¹)] in O(n³/3) without forming the inverse. *)
+
+val mahalanobis_sq : t -> Vec.t -> Vec.t -> float
+(** [mahalanobis_sq f x mu] is [(x-mu)ᵀ a⁻¹ (x-mu)]. *)
+
+val sample_transform : t -> Vec.t -> Vec.t
+(** [sample_transform f z] is [l z]; maps iid standard normals to
+    draws with covariance [a]. *)
+
+val rank1_update : t -> Vec.t -> unit
+(** [rank1_update f v] updates the factorization in place so that it
+    factors [a + v·vᵀ] (classic "cholupdate", O(n²)).  [v] is
+    destroyed. *)
+
+val copy : t -> t
+(** Independent copy of the factorization (for snapshot/rollback
+    around {!rank1_update} sequences). *)
+
+val of_scaled_identity : int -> float -> t
+(** Factorization of [c·I] ([c > 0]) without building the matrix —
+    the natural seed for incremental rank-1 construction. *)
+
+val is_positive_definite : Mat.t -> bool
+(** Whether symmetric [a] admits a Cholesky factorization. *)
+
+val nearest_pd_inplace : ?floor:float -> Mat.t -> unit
+(** Project a symmetric matrix onto the PD cone (approximately) by
+    symmetrizing and raising the diagonal until {!factorize} succeeds;
+    [floor] (default [1e-10]) scales the initial diagonal boost.  Cheap
+    guard used by EM updates. *)

@@ -1,0 +1,95 @@
+type t = {
+  n : int;
+  lre : float array;
+  lim : float array;
+  piv : int array;
+}
+
+exception Singular of int
+
+let mag2 re im = (re *. re) +. (im *. im)
+
+let factorize (a : Cmat.t) =
+  let rows, cols = Cmat.dim a in
+  assert (rows = cols);
+  let n = rows in
+  let a = Cmat.copy a in
+  let lre = (a : Cmat.t).Cmat.re and lim = (a : Cmat.t).Cmat.im in
+  let piv = Array.init n (fun i -> i) in
+  for j = 0 to n - 1 do
+    let pivot_row = ref j in
+    let pivot_mag = ref (mag2 lre.((j * n) + j) lim.((j * n) + j)) in
+    for i = j + 1 to n - 1 do
+      let m = mag2 lre.((i * n) + j) lim.((i * n) + j) in
+      if m > !pivot_mag then begin
+        pivot_mag := m;
+        pivot_row := i
+      end
+    done;
+    if !pivot_mag = 0.0 || Float.is_nan !pivot_mag then raise (Singular j);
+    if !pivot_row <> j then begin
+      let p = !pivot_row in
+      for k = 0 to n - 1 do
+        let tr = lre.((j * n) + k) and ti = lim.((j * n) + k) in
+        lre.((j * n) + k) <- lre.((p * n) + k);
+        lim.((j * n) + k) <- lim.((p * n) + k);
+        lre.((p * n) + k) <- tr;
+        lim.((p * n) + k) <- ti
+      done;
+      let tmp = piv.(j) in
+      piv.(j) <- piv.(p);
+      piv.(p) <- tmp
+    end;
+    let dre = lre.((j * n) + j) and dim_ = lim.((j * n) + j) in
+    let dmag = mag2 dre dim_ in
+    for i = j + 1 to n - 1 do
+      let xre = lre.((i * n) + j) and xim = lim.((i * n) + j) in
+      (* m = x / d *)
+      let mre = ((xre *. dre) +. (xim *. dim_)) /. dmag in
+      let mim = ((xim *. dre) -. (xre *. dim_)) /. dmag in
+      lre.((i * n) + j) <- mre;
+      lim.((i * n) + j) <- mim;
+      if mre <> 0.0 || mim <> 0.0 then
+        for k = j + 1 to n - 1 do
+          let ure = lre.((j * n) + k) and uim = lim.((j * n) + k) in
+          lre.((i * n) + k) <-
+            lre.((i * n) + k) -. ((mre *. ure) -. (mim *. uim));
+          lim.((i * n) + k) <-
+            lim.((i * n) + k) -. ((mre *. uim) +. (mim *. ure))
+        done
+    done
+  done;
+  { n; lre; lim; piv }
+
+let dim f = f.n
+
+let solve_vec f (b : Cmat.vec) =
+  let n = f.n in
+  assert (Cmat.vec_dim b = n);
+  let xre = Array.init n (fun i -> b.Cmat.vre.(f.piv.(i))) in
+  let xim = Array.init n (fun i -> b.Cmat.vim.(f.piv.(i))) in
+  for i = 1 to n - 1 do
+    let sre = ref xre.(i) and sim = ref xim.(i) in
+    for k = 0 to i - 1 do
+      let lr = f.lre.((i * n) + k) and li = f.lim.((i * n) + k) in
+      sre := !sre -. ((lr *. xre.(k)) -. (li *. xim.(k)));
+      sim := !sim -. ((lr *. xim.(k)) +. (li *. xre.(k)))
+    done;
+    xre.(i) <- !sre;
+    xim.(i) <- !sim
+  done;
+  for i = n - 1 downto 0 do
+    let sre = ref xre.(i) and sim = ref xim.(i) in
+    for k = i + 1 to n - 1 do
+      let ur = f.lre.((i * n) + k) and ui = f.lim.((i * n) + k) in
+      sre := !sre -. ((ur *. xre.(k)) -. (ui *. xim.(k)));
+      sim := !sim -. ((ur *. xim.(k)) +. (ui *. xre.(k)))
+    done;
+    let dre = f.lre.((i * n) + i) and dim_ = f.lim.((i * n) + i) in
+    let dmag = mag2 dre dim_ in
+    xre.(i) <- ((!sre *. dre) +. (!sim *. dim_)) /. dmag;
+    xim.(i) <- ((!sim *. dre) -. (!sre *. dim_)) /. dmag
+  done;
+  { Cmat.vre = xre; vim = xim }
+
+let solve a b = solve_vec (factorize a) b

@@ -1,0 +1,18 @@
+(** Complex LU factorization with partial pivoting — the kernel behind
+    every MNA AC solve. *)
+
+type t
+
+exception Singular of int
+
+val factorize : Cmat.t -> t
+(** Requires a square matrix; raises {!Singular} on a zero pivot. *)
+
+val dim : t -> int
+
+val solve_vec : t -> Cmat.vec -> Cmat.vec
+(** Solve [a x = b].  The factorization can be reused across many
+    right-hand sides (one AC solve per excitation/noise source). *)
+
+val solve : Cmat.t -> Cmat.vec -> Cmat.vec
+(** One-shot [factorize] + [solve_vec]. *)

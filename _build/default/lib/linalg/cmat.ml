@@ -1,0 +1,148 @@
+type t = { rows : int; cols : int; re : float array; im : float array }
+
+type vec = { vre : float array; vim : float array }
+
+let vec_create n = { vre = Array.make n 0.0; vim = Array.make n 0.0 }
+
+let vec_dim v = Array.length v.vre
+
+let vec_get v i = { Complex.re = v.vre.(i); im = v.vim.(i) }
+
+let vec_set v i (c : Complex.t) =
+  v.vre.(i) <- c.Complex.re;
+  v.vim.(i) <- c.Complex.im
+
+let vec_add_at v i (c : Complex.t) =
+  v.vre.(i) <- v.vre.(i) +. c.Complex.re;
+  v.vim.(i) <- v.vim.(i) +. c.Complex.im
+
+let vec_of_array a =
+  {
+    vre = Array.map (fun (c : Complex.t) -> c.Complex.re) a;
+    vim = Array.map (fun (c : Complex.t) -> c.Complex.im) a;
+  }
+
+let vec_to_array v = Array.init (vec_dim v) (vec_get v)
+
+let vec_norm2 v =
+  let acc = ref 0.0 in
+  for i = 0 to vec_dim v - 1 do
+    acc := !acc +. (v.vre.(i) *. v.vre.(i)) +. (v.vim.(i) *. v.vim.(i))
+  done;
+  sqrt !acc
+
+let vec_approx_equal ?(tol = 1e-9) a b =
+  vec_dim a = vec_dim b
+  &&
+  let ok = ref true in
+  for i = 0 to vec_dim a - 1 do
+    if
+      abs_float (a.vre.(i) -. b.vre.(i)) > tol
+      || abs_float (a.vim.(i) -. b.vim.(i)) > tol
+    then ok := false
+  done;
+  !ok
+
+let create rows cols =
+  {
+    rows;
+    cols;
+    re = Array.make (rows * cols) 0.0;
+    im = Array.make (rows * cols) 0.0;
+  }
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let c = f i j in
+      m.re.((i * cols) + j) <- c.Complex.re;
+      m.im.((i * cols) + j) <- c.Complex.im
+    done
+  done;
+  m
+
+let identity n =
+  init n n (fun i j -> if i = j then Complex.one else Complex.zero)
+
+let copy m = { m with re = Array.copy m.re; im = Array.copy m.im }
+
+let dim m = (m.rows, m.cols)
+
+let get m i j =
+  { Complex.re = m.re.((i * m.cols) + j); im = m.im.((i * m.cols) + j) }
+
+let set m i j (c : Complex.t) =
+  m.re.((i * m.cols) + j) <- c.Complex.re;
+  m.im.((i * m.cols) + j) <- c.Complex.im
+
+let add_at m i j (c : Complex.t) =
+  let k = (i * m.cols) + j in
+  m.re.(k) <- m.re.(k) +. c.Complex.re;
+  m.im.(k) <- m.im.(k) +. c.Complex.im
+
+let mat_vec m v =
+  assert (m.cols = vec_dim v);
+  let out = vec_create m.rows in
+  for i = 0 to m.rows - 1 do
+    let row = i * m.cols in
+    let sre = ref 0.0 and sim = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      let ar = m.re.(row + j) and ai = m.im.(row + j) in
+      let xr = v.vre.(j) and xi = v.vim.(j) in
+      sre := !sre +. ((ar *. xr) -. (ai *. xi));
+      sim := !sim +. ((ar *. xi) +. (ai *. xr))
+    done;
+    out.vre.(i) <- !sre;
+    out.vim.(i) <- !sim
+  done;
+  out
+
+let add a b =
+  assert (a.rows = b.rows && a.cols = b.cols);
+  {
+    a with
+    re = Array.init (Array.length a.re) (fun i -> a.re.(i) +. b.re.(i));
+    im = Array.init (Array.length a.im) (fun i -> a.im.(i) +. b.im.(i));
+  }
+
+let scale (c : Complex.t) a =
+  let cr = c.Complex.re and ci = c.Complex.im in
+  {
+    a with
+    re = Array.init (Array.length a.re) (fun i -> (cr *. a.re.(i)) -. (ci *. a.im.(i)));
+    im = Array.init (Array.length a.im) (fun i -> (cr *. a.im.(i)) +. (ci *. a.re.(i)));
+  }
+
+let max_abs a =
+  let worst = ref 0.0 in
+  for i = 0 to Array.length a.re - 1 do
+    let m = sqrt ((a.re.(i) *. a.re.(i)) +. (a.im.(i) *. a.im.(i))) in
+    if m > !worst then worst := m
+  done;
+  !worst
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a.re - 1 do
+    if abs_float (a.re.(i) -. b.re.(i)) > tol
+       || abs_float (a.im.(i) -. b.im.(i)) > tol
+    then ok := false
+  done;
+  !ok
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v 0>";
+  for i = 0 to m.rows - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      let c = get m i j in
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%.3g%+.3gi" c.Complex.re c.Complex.im
+    done;
+    Format.fprintf ppf "]"
+  done;
+  Format.fprintf ppf "@]"

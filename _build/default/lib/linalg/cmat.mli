@@ -1,0 +1,66 @@
+(** Dense complex matrices and vectors for AC circuit analysis.
+
+    Storage is split re/im flat arrays (structure-of-arrays), which keeps
+    the LU hot loops free of boxed [Complex.t] values.  The API uses
+    [Complex.t] at the boundaries. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  re : float array;
+  im : float array;
+}
+
+type vec = { vre : float array; vim : float array }
+
+(** {1 Vectors} *)
+
+val vec_create : int -> vec
+
+val vec_dim : vec -> int
+
+val vec_get : vec -> int -> Complex.t
+
+val vec_set : vec -> int -> Complex.t -> unit
+
+val vec_add_at : vec -> int -> Complex.t -> unit
+(** Accumulate into component [i]. *)
+
+val vec_of_array : Complex.t array -> vec
+
+val vec_to_array : vec -> Complex.t array
+
+val vec_norm2 : vec -> float
+
+val vec_approx_equal : ?tol:float -> vec -> vec -> bool
+
+(** {1 Matrices} *)
+
+val create : int -> int -> t
+
+val init : int -> int -> (int -> int -> Complex.t) -> t
+
+val identity : int -> t
+
+val copy : t -> t
+
+val dim : t -> int * int
+
+val get : t -> int -> int -> Complex.t
+
+val set : t -> int -> int -> Complex.t -> unit
+
+val add_at : t -> int -> int -> Complex.t -> unit
+(** Accumulate into element [(i, j)] — the MNA stamping primitive. *)
+
+val mat_vec : t -> vec -> vec
+
+val add : t -> t -> t
+
+val scale : Complex.t -> t -> t
+
+val max_abs : t -> float
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type decomposition = { values : Vec.t; vectors : Mat.t }
+
+let off_diagonal_norm (a : Mat.t) =
+  let n = a.Mat.rows in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let x = Mat.get a i j in
+      acc := !acc +. (2.0 *. x *. x)
+    done
+  done;
+  sqrt !acc
+
+let symmetric ?(tol = 1e-12) ?(max_sweeps = 64) a0 =
+  assert (Mat.is_square a0);
+  let n = a0.Mat.rows in
+  let a = Mat.copy a0 in
+  Mat.symmetrize_inplace a;
+  let v = Mat.identity n in
+  let scale = Float.max 1e-300 (Mat.max_abs a) in
+  let threshold = tol *. scale *. float_of_int n in
+  let sweep = ref 0 in
+  while off_diagonal_norm a > threshold && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = Mat.get a p q in
+        if abs_float apq > 1e-300 then begin
+          let app = Mat.get a p p and aqq = Mat.get a q q in
+          let theta = (aqq -. app) /. (2.0 *. apq) in
+          let t =
+            let sign = if theta >= 0.0 then 1.0 else -1.0 in
+            sign /. (abs_float theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          (* Rotate rows/columns p and q of [a]. *)
+          for k = 0 to n - 1 do
+            let akp = Mat.get a k p and akq = Mat.get a k q in
+            Mat.set a k p ((c *. akp) -. (s *. akq));
+            Mat.set a k q ((s *. akp) +. (c *. akq))
+          done;
+          for k = 0 to n - 1 do
+            let apk = Mat.get a p k and aqk = Mat.get a q k in
+            Mat.set a p k ((c *. apk) -. (s *. aqk));
+            Mat.set a q k ((s *. apk) +. (c *. aqk))
+          done;
+          (* Accumulate the rotation into the eigenvector matrix. *)
+          for k = 0 to n - 1 do
+            let vkp = Mat.get v k p and vkq = Mat.get v k q in
+            Mat.set v k p ((c *. vkp) -. (s *. vkq));
+            Mat.set v k q ((s *. vkp) +. (c *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  (* Extract and sort descending. *)
+  let order = Array.init n (fun i -> i) in
+  let diag = Mat.diagonal a in
+  Array.sort (fun i j -> compare diag.(j) diag.(i)) order;
+  let values = Array.map (fun i -> diag.(i)) order in
+  let vectors = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
+  { values; vectors }
+
+let eigenvalues a = (symmetric a).values
+
+let min_eigenvalue a =
+  let ev = eigenvalues a in
+  ev.(Array.length ev - 1)
+
+let condition_number a =
+  let ev = eigenvalues a in
+  let lmax = ev.(0) and lmin = ev.(Array.length ev - 1) in
+  if lmin <= 0.0 then infinity else lmax /. lmin
+
+let pd_projection ?(floor = 1e-12) a =
+  let { values; vectors } = symmetric a in
+  let n = Array.length values in
+  let lmax = Float.max values.(0) 1e-300 in
+  let clipped = Array.map (fun l -> Float.max l (floor *. lmax)) values in
+  (* Reconstruct v · diag(clipped) · vᵀ. *)
+  let scaled = Mat.init n n (fun i j -> Mat.get vectors i j *. clipped.(j)) in
+  let out = Mat.matmul_nt scaled vectors in
+  Mat.symmetrize_inplace out;
+  out

@@ -1,0 +1,28 @@
+(** Symmetric eigendecomposition via the cyclic Jacobi method.
+
+    Intended for the moderate sizes appearing in this code base
+    (K×K correlation matrices, K ≈ 32), where Jacobi's simplicity and
+    high relative accuracy outweigh its O(n³) sweeps. *)
+
+type decomposition = {
+  values : Vec.t;  (** Eigenvalues in descending order. *)
+  vectors : Mat.t;  (** Column [j] is the eigenvector for [values.(j)]. *)
+}
+
+val symmetric : ?tol:float -> ?max_sweeps:int -> Mat.t -> decomposition
+(** [symmetric a] diagonalizes symmetric [a].  [tol] (default [1e-12])
+    is the off-diagonal Frobenius threshold relative to the matrix
+    scale; [max_sweeps] defaults to 64. *)
+
+val eigenvalues : Mat.t -> Vec.t
+(** Just the (descending) eigenvalues. *)
+
+val min_eigenvalue : Mat.t -> float
+
+val condition_number : Mat.t -> float
+(** λ_max / λ_min for symmetric PD input; [infinity] when λ_min ≤ 0. *)
+
+val pd_projection : ?floor:float -> Mat.t -> Mat.t
+(** Eigenvalue clipping: reconstruct with eigenvalues clamped to at
+    least [floor · λ_max] (default floor [1e-12]).  Returns a symmetric
+    positive definite matrix close to the input. *)

@@ -1,0 +1,102 @@
+type t = {
+  n : int;
+  lu : float array; (* packed L (unit diagonal, below) and U (on/above) *)
+  piv : int array; (* row permutation: solves use row piv.(i) of b *)
+  sign : float; (* permutation parity, for det *)
+}
+
+exception Singular of int
+
+let factorize (a : Mat.t) =
+  assert (Mat.is_square a);
+  let n = a.Mat.rows in
+  let lu = Array.copy a.Mat.data in
+  let piv = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for j = 0 to n - 1 do
+    (* Find pivot in column j at or below row j. *)
+    let pivot_row = ref j in
+    let pivot_mag = ref (abs_float lu.((j * n) + j)) in
+    for i = j + 1 to n - 1 do
+      let m = abs_float lu.((i * n) + j) in
+      if m > !pivot_mag then begin
+        pivot_mag := m;
+        pivot_row := i
+      end
+    done;
+    if !pivot_mag = 0.0 || Float.is_nan !pivot_mag then raise (Singular j);
+    if !pivot_row <> j then begin
+      (* Swap rows j and pivot_row. *)
+      let p = !pivot_row in
+      for k = 0 to n - 1 do
+        let tmp = lu.((j * n) + k) in
+        lu.((j * n) + k) <- lu.((p * n) + k);
+        lu.((p * n) + k) <- tmp
+      done;
+      let tmp = piv.(j) in
+      piv.(j) <- piv.(p);
+      piv.(p) <- tmp;
+      sign := -. !sign
+    end;
+    let d = lu.((j * n) + j) in
+    for i = j + 1 to n - 1 do
+      let m = lu.((i * n) + j) /. d in
+      lu.((i * n) + j) <- m;
+      if m <> 0.0 then
+        for k = j + 1 to n - 1 do
+          lu.((i * n) + k) <- lu.((i * n) + k) -. (m *. lu.((j * n) + k))
+        done
+    done
+  done;
+  { n; lu; piv; sign = !sign }
+
+let dim f = f.n
+
+let solve_vec f (b : Vec.t) =
+  let n = f.n in
+  assert (Array.length b = n);
+  (* Apply permutation, then forward (unit L), then backward (U). *)
+  let x = Array.init n (fun i -> b.(f.piv.(i))) in
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (f.lu.((i * n) + k) *. x.(k))
+    done;
+    x.(i) <- !s
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (f.lu.((i * n) + k) *. x.(k))
+    done;
+    x.(i) <- !s /. f.lu.((i * n) + i)
+  done;
+  x
+
+let solve_mat f (b : Mat.t) =
+  assert (b.Mat.rows = f.n);
+  let x = Mat.create f.n b.Mat.cols in
+  for j = 0 to b.Mat.cols - 1 do
+    Mat.set_col x j (solve_vec f (Mat.col b j))
+  done;
+  x
+
+let inverse f = solve_mat f (Mat.identity f.n)
+
+let det f =
+  let acc = ref f.sign in
+  for i = 0 to f.n - 1 do
+    acc := !acc *. f.lu.((i * f.n) + i)
+  done;
+  !acc
+
+let solve a b = solve_vec (factorize a) b
+
+let rcond_estimate a =
+  match factorize a with
+  | exception Singular _ -> 0.0
+  | f ->
+      let norm_a = Mat.norm_inf a in
+      let norm_inv = Mat.norm_inf (inverse f) in
+      if norm_a = 0.0 || norm_inv = 0.0 then 0.0
+      else 1.0 /. (norm_a *. norm_inv)

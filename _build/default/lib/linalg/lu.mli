@@ -1,0 +1,29 @@
+(** LU factorization with partial pivoting for general square systems. *)
+
+type t
+
+exception Singular of int
+(** Raised with the failing column when a zero (or NaN) pivot occurs. *)
+
+val factorize : Mat.t -> t
+(** [factorize a] computes [p a = l u] with partial pivoting.
+    Raises {!Singular} if [a] is numerically singular. *)
+
+val dim : t -> int
+
+val solve_vec : t -> Vec.t -> Vec.t
+(** Solve [a x = b]. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+
+val inverse : t -> Mat.t
+
+val det : t -> float
+(** Determinant of the original matrix (sign included). *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** One-shot [factorize] + [solve_vec]. *)
+
+val rcond_estimate : Mat.t -> float
+(** Crude reciprocal-condition estimate [1 / (‖a‖∞ ‖a⁻¹‖∞)];
+    returns [0.] for singular input. *)

@@ -1,0 +1,303 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  let data = Array.make (rows * cols) 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let make rows cols c = { rows; cols; data = Array.make (rows * cols) c }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let diag v =
+  let n = Array.length v in
+  init n n (fun i j -> if i = j then v.(i) else 0.0)
+
+let scalar n c = init n n (fun i j -> if i = j then c else 0.0)
+
+let of_arrays rows_arr =
+  let rows = Array.length rows_arr in
+  assert (rows > 0);
+  let cols = Array.length rows_arr.(0) in
+  Array.iter (fun r -> assert (Array.length r = cols)) rows_arr;
+  init rows cols (fun i j -> rows_arr.(i).(j))
+
+let of_rows rows_list = of_arrays (Array.of_list rows_list)
+
+let copy a = { a with data = Array.copy a.data }
+
+let unsafe_of_flat ~rows ~cols data =
+  assert (Array.length data = rows * cols);
+  { rows; cols; data }
+
+let dim a = (a.rows, a.cols)
+
+let get a i j =
+  assert (i >= 0 && i < a.rows && j >= 0 && j < a.cols);
+  a.data.((i * a.cols) + j)
+
+let set a i j x =
+  assert (i >= 0 && i < a.rows && j >= 0 && j < a.cols);
+  a.data.((i * a.cols) + j) <- x
+
+let update a i j f = set a i j (f (get a i j))
+
+let row a i =
+  assert (i >= 0 && i < a.rows);
+  Array.sub a.data (i * a.cols) a.cols
+
+let col a j =
+  assert (j >= 0 && j < a.cols);
+  Array.init a.rows (fun i -> a.data.((i * a.cols) + j))
+
+let set_row a i v =
+  assert (Array.length v = a.cols);
+  Array.blit v 0 a.data (i * a.cols) a.cols
+
+let set_col a j v =
+  assert (Array.length v = a.rows);
+  for i = 0 to a.rows - 1 do
+    a.data.((i * a.cols) + j) <- v.(i)
+  done
+
+let diagonal a =
+  let n = Stdlib.min a.rows a.cols in
+  Array.init n (fun i -> a.data.((i * a.cols) + i))
+
+let submatrix a ~row0 ~col0 ~rows ~cols =
+  assert (row0 >= 0 && col0 >= 0);
+  assert (row0 + rows <= a.rows && col0 + cols <= a.cols);
+  init rows cols (fun i j -> a.data.(((row0 + i) * a.cols) + (col0 + j)))
+
+let select_cols a idx =
+  Array.iter (fun j -> assert (j >= 0 && j < a.cols)) idx;
+  init a.rows (Array.length idx) (fun i j -> a.data.((i * a.cols) + idx.(j)))
+
+let transpose a = init a.cols a.rows (fun i j -> a.data.((j * a.cols) + i))
+
+let add a b =
+  assert (a.rows = b.rows && a.cols = b.cols);
+  { a with data = Array.init (Array.length a.data) (fun i -> a.data.(i) +. b.data.(i)) }
+
+let sub a b =
+  assert (a.rows = b.rows && a.cols = b.cols);
+  { a with data = Array.init (Array.length a.data) (fun i -> a.data.(i) -. b.data.(i)) }
+
+let scale c a = { a with data = Array.map (fun x -> c *. x) a.data }
+
+let add_inplace a b =
+  assert (a.rows = b.rows && a.cols = b.cols);
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set a.data i
+      (Array.unsafe_get a.data i +. Array.unsafe_get b.data i)
+  done
+
+let scale_inplace a c =
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set a.data i (c *. Array.unsafe_get a.data i)
+  done
+
+let add_scaled_inplace a c b =
+  assert (a.rows = b.rows && a.cols = b.cols);
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set a.data i
+      (Array.unsafe_get a.data i +. (c *. Array.unsafe_get b.data i))
+  done
+
+let add_diag_inplace a c =
+  let n = Stdlib.min a.rows a.cols in
+  for i = 0 to n - 1 do
+    a.data.((i * a.cols) + i) <- a.data.((i * a.cols) + i) +. c
+  done
+
+(* Triple-loop matmul in i-k-j order so the inner loop streams rows of
+   both the accumulator and [b]: cache-friendly without blocking. *)
+let matmul a b =
+  assert (a.cols = b.rows);
+  let m = a.rows and n = b.cols and p = a.cols in
+  let c = Array.make (m * n) 0.0 in
+  let ad = a.data and bd = b.data in
+  for i = 0 to m - 1 do
+    let arow = i * p in
+    let crow = i * n in
+    for k = 0 to p - 1 do
+      let aik = Array.unsafe_get ad (arow + k) in
+      if aik <> 0.0 then begin
+        let brow = k * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set c (crow + j)
+            (Array.unsafe_get c (crow + j)
+            +. (aik *. Array.unsafe_get bd (brow + j)))
+        done
+      end
+    done
+  done;
+  { rows = m; cols = n; data = c }
+
+let matmul_nt a b =
+  assert (a.cols = b.cols);
+  let m = a.rows and n = b.rows and p = a.cols in
+  let c = Array.make (m * n) 0.0 in
+  let ad = a.data and bd = b.data in
+  for i = 0 to m - 1 do
+    let arow = i * p in
+    for j = 0 to n - 1 do
+      let brow = j * p in
+      let acc = ref 0.0 in
+      for k = 0 to p - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get ad (arow + k) *. Array.unsafe_get bd (brow + k))
+      done;
+      Array.unsafe_set c ((i * n) + j) !acc
+    done
+  done;
+  { rows = m; cols = n; data = c }
+
+let matmul_tn a b =
+  assert (a.rows = b.rows);
+  let m = a.cols and n = b.cols and p = a.rows in
+  let c = Array.make (m * n) 0.0 in
+  let ad = a.data and bd = b.data in
+  for k = 0 to p - 1 do
+    let arow = k * m in
+    let brow = k * n in
+    for i = 0 to m - 1 do
+      let aki = Array.unsafe_get ad (arow + i) in
+      if aki <> 0.0 then begin
+        let crow = i * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set c (crow + j)
+            (Array.unsafe_get c (crow + j)
+            +. (aki *. Array.unsafe_get bd (brow + j)))
+        done
+      end
+    done
+  done;
+  { rows = m; cols = n; data = c }
+
+let mat_vec a x =
+  assert (a.cols = Array.length x);
+  let y = Array.make a.rows 0.0 in
+  let ad = a.data in
+  for i = 0 to a.rows - 1 do
+    let arow = i * a.cols in
+    let acc = ref 0.0 in
+    for j = 0 to a.cols - 1 do
+      acc := !acc +. (Array.unsafe_get ad (arow + j) *. Array.unsafe_get x j)
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let mat_tvec a x =
+  assert (a.rows = Array.length x);
+  let y = Array.make a.cols 0.0 in
+  let ad = a.data in
+  for i = 0 to a.rows - 1 do
+    let arow = i * a.cols in
+    let xi = Array.unsafe_get x i in
+    if xi <> 0.0 then
+      for j = 0 to a.cols - 1 do
+        Array.unsafe_set y j
+          (Array.unsafe_get y j +. (xi *. Array.unsafe_get ad (arow + j)))
+      done
+  done;
+  y
+
+let gram a = matmul_tn a a
+
+let outer x y =
+  init (Array.length x) (Array.length y) (fun i j -> x.(i) *. y.(j))
+
+let add_outer_inplace a c x y =
+  assert (a.rows = Array.length x && a.cols = Array.length y);
+  for i = 0 to a.rows - 1 do
+    let cxi = c *. x.(i) in
+    if cxi <> 0.0 then begin
+      let arow = i * a.cols in
+      for j = 0 to a.cols - 1 do
+        Array.unsafe_set a.data (arow + j)
+          (Array.unsafe_get a.data (arow + j) +. (cxi *. Array.unsafe_get y j))
+      done
+    end
+  done
+
+let quadratic_form a x =
+  assert (a.rows = a.cols && a.rows = Array.length x);
+  Vec.dot x (mat_vec a x)
+
+let trace a =
+  let n = Stdlib.min a.rows a.cols in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. a.data.((i * a.cols) + i)
+  done;
+  !acc
+
+let frobenius a = Vec.norm2 a.data
+
+let norm_inf a =
+  let worst = ref 0.0 in
+  for i = 0 to a.rows - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to a.cols - 1 do
+      acc := !acc +. abs_float a.data.((i * a.cols) + j)
+    done;
+    if !acc > !worst then worst := !acc
+  done;
+  !worst
+
+let max_abs a = Vec.norm_inf a.data
+
+let is_square a = a.rows = a.cols
+
+let is_symmetric ?(tol = 1e-9) a =
+  is_square a
+  &&
+  let ok = ref true in
+  for i = 0 to a.rows - 1 do
+    for j = i + 1 to a.cols - 1 do
+      if abs_float (get a i j -. get a j i) > tol then ok := false
+    done
+  done;
+  !ok
+
+let symmetrize_inplace a =
+  assert (is_square a);
+  for i = 0 to a.rows - 1 do
+    for j = i + 1 to a.cols - 1 do
+      let m = 0.5 *. (get a i j +. get a j i) in
+      set a i j m;
+      set a j i m
+    done
+  done
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Vec.approx_equal ~tol a.data b.data
+
+let map f a = { a with data = Array.map f a.data }
+
+let mapi f a = init a.rows a.cols (fun i j -> f i j (get a i j))
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v 0>";
+  for i = 0 to a.rows - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    Format.fprintf ppf "[";
+    for j = 0 to a.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.4g" (get a i j)
+    done;
+    Format.fprintf ppf "]"
+  done;
+  Format.fprintf ppf "@]"
+
+let to_string a = Format.asprintf "%a" pp a

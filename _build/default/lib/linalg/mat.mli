@@ -1,0 +1,149 @@
+(** Dense real matrices, row-major, backed by a flat [float array].
+
+    The record fields are exposed so that performance-critical code can
+    index [data] directly ([data.(i * cols + j)] is element [(i, j)]).
+    All functions check dimensions with assertions. *)
+
+type t = private { rows : int; cols : int; data : float array }
+
+(** {1 Construction} *)
+
+val create : int -> int -> t
+(** [create r c] is a fresh zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init r c f] has element [(i, j)] equal to [f i j]. *)
+
+val make : int -> int -> float -> t
+
+val identity : int -> t
+
+val diag : Vec.t -> t
+(** Square matrix with the given diagonal. *)
+
+val scalar : int -> float -> t
+(** [scalar n c] is [c] times the [n]-identity. *)
+
+val of_arrays : float array array -> t
+(** Rows given as arrays; all rows must have equal length. *)
+
+val of_rows : Vec.t list -> t
+
+val copy : t -> t
+
+val unsafe_of_flat : rows:int -> cols:int -> float array -> t
+(** Wrap an existing flat row-major array without copying.  The array
+    length must be [rows * cols]; the caller must not alias it in ways
+    that violate matrix invariants. *)
+
+(** {1 Size and access} *)
+
+val dim : t -> int * int
+(** [(rows, cols)]. *)
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val update : t -> int -> int -> (float -> float) -> unit
+
+val row : t -> int -> Vec.t
+(** Fresh copy of a row. *)
+
+val col : t -> int -> Vec.t
+(** Fresh copy of a column. *)
+
+val set_row : t -> int -> Vec.t -> unit
+
+val set_col : t -> int -> Vec.t -> unit
+
+val diagonal : t -> Vec.t
+(** Fresh copy of the main diagonal (square not required; length is
+    [min rows cols]). *)
+
+val submatrix : t -> row0:int -> col0:int -> rows:int -> cols:int -> t
+
+val select_cols : t -> int array -> t
+(** [select_cols a idx] is the matrix whose [j]-th column is column
+    [idx.(j)] of [a]. *)
+
+val transpose : t -> t
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val add_inplace : t -> t -> unit
+(** [add_inplace a b] sets [a <- a + b]. *)
+
+val scale_inplace : t -> float -> unit
+
+val add_scaled_inplace : t -> float -> t -> unit
+(** [add_scaled_inplace a c b] sets [a <- a + c*b]. *)
+
+val add_diag_inplace : t -> float -> unit
+(** Add a constant to the main diagonal (ridge/jitter). *)
+
+val matmul : t -> t -> t
+(** [matmul a b] is [a * b]. *)
+
+val matmul_nt : t -> t -> t
+(** [matmul_nt a b] is [a * bᵀ]. *)
+
+val matmul_tn : t -> t -> t
+(** [matmul_tn a b] is [aᵀ * b]. *)
+
+val mat_vec : t -> Vec.t -> Vec.t
+(** [mat_vec a x] is [a x]. *)
+
+val mat_tvec : t -> Vec.t -> Vec.t
+(** [mat_tvec a x] is [aᵀ x]. *)
+
+val gram : t -> t
+(** [gram a] is [aᵀ a] (symmetric). *)
+
+val outer : Vec.t -> Vec.t -> t
+(** [outer x y] is [x yᵀ]. *)
+
+val add_outer_inplace : t -> float -> Vec.t -> Vec.t -> unit
+(** [add_outer_inplace a c x y] sets [a <- a + c · x yᵀ]. *)
+
+val quadratic_form : t -> Vec.t -> float
+(** [quadratic_form a x] is [xᵀ a x] (square [a]). *)
+
+(** {1 Reductions and predicates} *)
+
+val trace : t -> float
+
+val frobenius : t -> float
+
+val norm_inf : t -> float
+(** Max absolute row sum. *)
+
+val max_abs : t -> float
+(** Largest absolute entry. *)
+
+val is_square : t -> bool
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val symmetrize_inplace : t -> unit
+(** Replace [a] with [(a + aᵀ)/2] (square [a]). *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+(** {1 Maps} *)
+
+val map : (float -> float) -> t -> t
+
+val mapi : (int -> int -> float -> float) -> t -> t
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,150 @@
+type t = float array
+
+let create n = Array.make n 0.0
+
+let init = Array.init
+
+let make = Array.make
+
+let copy = Array.copy
+
+let of_list = Array.of_list
+
+let basis n i =
+  let v = Array.make n 0.0 in
+  v.(i) <- 1.0;
+  v
+
+let linspace a b n =
+  assert (n >= 2);
+  let h = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> a +. (h *. float_of_int i))
+
+let dim = Array.length
+
+let get (v : t) i = v.(i)
+
+let set (v : t) i x = v.(i) <- x
+
+let fill v c = Array.fill v 0 (Array.length v) c
+
+let blit ~src ~dst =
+  assert (Array.length src = Array.length dst);
+  Array.blit src 0 dst 0 (Array.length src)
+
+let scale_inplace v a =
+  for i = 0 to Array.length v - 1 do
+    Array.unsafe_set v i (a *. Array.unsafe_get v i)
+  done
+
+let add_inplace x y =
+  assert (Array.length x = Array.length y);
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set x i (Array.unsafe_get x i +. Array.unsafe_get y i)
+  done
+
+let sub_inplace x y =
+  assert (Array.length x = Array.length y);
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set x i (Array.unsafe_get x i -. Array.unsafe_get y i)
+  done
+
+let axpy a x y =
+  assert (Array.length x = Array.length y);
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set y i ((a *. Array.unsafe_get x i) +. Array.unsafe_get y i)
+  done
+
+let map2 f x y =
+  assert (Array.length x = Array.length y);
+  Array.init (Array.length x) (fun i ->
+      f (Array.unsafe_get x i) (Array.unsafe_get y i))
+
+let add x y = map2 ( +. ) x y
+
+let sub x y = map2 ( -. ) x y
+
+let scale a v = Array.map (fun x -> a *. x) v
+
+let neg v = Array.map (fun x -> -.x) v
+
+let map = Array.map
+
+let mul x y = map2 ( *. ) x y
+
+let dot x y =
+  assert (Array.length x = Array.length y);
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (Array.unsafe_get x i *. Array.unsafe_get y i)
+  done;
+  !acc
+
+let norm2_sq v = dot v v
+
+let norm2 v = sqrt (norm2_sq v)
+
+let norm1 v = Array.fold_left (fun acc x -> acc +. abs_float x) 0.0 v
+
+let norm_inf v = Array.fold_left (fun acc x -> Float.max acc (abs_float x)) 0.0 v
+
+let sum v = Array.fold_left ( +. ) 0.0 v
+
+let mean v =
+  assert (Array.length v > 0);
+  sum v /. float_of_int (Array.length v)
+
+let min v =
+  assert (Array.length v > 0);
+  Array.fold_left Float.min v.(0) v
+
+let max v =
+  assert (Array.length v > 0);
+  Array.fold_left Float.max v.(0) v
+
+let argmax v =
+  assert (Array.length v > 0);
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if v.(i) > v.(!best) then best := i
+  done;
+  !best
+
+let argmin v =
+  assert (Array.length v > 0);
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if v.(i) < v.(!best) then best := i
+  done;
+  !best
+
+let fold = Array.fold_left
+
+let approx_equal ?(tol = 1e-9) x y =
+  Array.length x = Array.length y
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length x - 1 do
+    if abs_float (x.(i) -. y.(i)) > tol then ok := false
+  done;
+  !ok
+
+let dist x y =
+  assert (Array.length x = Array.length y);
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let d = x.(i) -. y.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let pp ppf v =
+  Format.fprintf ppf "@[<hov 1>[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%.6g" x)
+    v;
+  Format.fprintf ppf "]@]"
+
+let to_string v = Format.asprintf "%a" pp v

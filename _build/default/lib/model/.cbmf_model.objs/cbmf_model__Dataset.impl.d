@@ -1,0 +1,1 @@
+lib/model/dataset.ml: Array Cbmf_linalg Mat Vec

@@ -1,0 +1,1 @@
+lib/model/group_lasso.mli: Cbmf_linalg Dataset Mat

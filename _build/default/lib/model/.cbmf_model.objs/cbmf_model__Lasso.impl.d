@@ -1,0 +1,1 @@
+lib/model/lasso.ml: Array Cbmf_linalg Crossval Dataset Float Mat Metrics Vec

@@ -1,0 +1,1 @@
+lib/model/lasso.mli: Cbmf_linalg Dataset Mat Vec

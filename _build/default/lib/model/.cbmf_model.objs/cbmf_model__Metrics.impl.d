@@ -1,0 +1,1 @@
+lib/model/metrics.ml: Array Cbmf_linalg Dataset Float Mat Vec

@@ -1,0 +1,1 @@
+lib/model/metrics.mli: Cbmf_linalg Dataset Mat Vec

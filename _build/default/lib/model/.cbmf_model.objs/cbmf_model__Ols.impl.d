@@ -1,0 +1,1 @@
+lib/model/ols.ml: Array Cbmf_linalg Dataset Mat Qr

@@ -1,0 +1,1 @@
+lib/model/ols.mli: Cbmf_linalg Dataset Mat Vec

@@ -1,0 +1,1 @@
+lib/model/omp.ml: Array Cbmf_basis Cbmf_linalg List Mat Metrics Qr Stdlib Vec

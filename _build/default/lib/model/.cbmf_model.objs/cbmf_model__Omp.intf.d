@@ -1,0 +1,1 @@
+lib/model/omp.mli: Cbmf_linalg Mat Vec

@@ -1,0 +1,1 @@
+lib/model/ridge.ml: Array Cbmf_linalg Chol Dataset Mat Metrics Vec

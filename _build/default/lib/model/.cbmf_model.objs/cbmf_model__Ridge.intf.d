@@ -1,0 +1,1 @@
+lib/model/ridge.mli: Cbmf_linalg Dataset Mat Vec

@@ -1,0 +1,1 @@
+lib/model/somp.ml: Array Cbmf_basis Cbmf_linalg Dataset List Mat Metrics Ols Qr Stdlib Vec

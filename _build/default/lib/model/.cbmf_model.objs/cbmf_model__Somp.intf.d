@@ -1,0 +1,1 @@
+lib/model/somp.mli: Cbmf_linalg Dataset Mat Vec

@@ -1,0 +1,34 @@
+let interleaved_folds ~n ~n_folds =
+  assert (n_folds >= 2 && n >= n_folds);
+  Array.init n_folds (fun fold ->
+      let train = ref [] and test = ref [] in
+      for i = n - 1 downto 0 do
+        if i mod n_folds = fold then test := i :: !test
+        else train := i :: !train
+      done;
+      (Array.of_list !train, Array.of_list !test))
+
+let select ~grid ~score =
+  assert (Array.length grid > 0);
+  let scores = Array.map score grid in
+  let best = ref 0 in
+  for i = 1 to Array.length scores - 1 do
+    if scores.(i) < scores.(!best) then best := i
+  done;
+  (grid.(!best), scores.(!best), scores)
+
+let grid3 a b c =
+  let out = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    for j = Array.length b - 1 downto 0 do
+      for k = Array.length c - 1 downto 0 do
+        out := (a.(i), b.(j), c.(k)) :: !out
+      done
+    done
+  done;
+  Array.of_list !out
+
+let log_grid ~lo ~hi ~n =
+  assert (lo > 0.0 && hi > lo && n >= 2);
+  let ratio = log (hi /. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i -> lo *. exp (ratio *. float_of_int i))

@@ -1,0 +1,16 @@
+(** Generic grid-search cross-validation helpers. *)
+
+val interleaved_folds : n:int -> n_folds:int -> (int array * int array) array
+(** [(train_rows, test_rows)] per fold; row [i] tests in fold
+    [i mod n_folds]. *)
+
+val select : grid:'a array -> score:('a -> float) -> 'a * float * float array
+(** Evaluate [score] (lower is better) on every grid point; return the
+    winner, its score, and all scores (grid order). *)
+
+val grid3 : 'a array -> 'b array -> 'c array -> ('a * 'b * 'c) array
+(** Cartesian product — the (r0, σ0, θ) candidate sets of
+    Algorithm 1. *)
+
+val log_grid : lo:float -> hi:float -> n:int -> float array
+(** n logarithmically spaced points in [lo, hi]; requires positives. *)

@@ -1,0 +1,80 @@
+open Cbmf_linalg
+
+type t = {
+  n_states : int;
+  n_samples : int;
+  n_basis : int;
+  design : Mat.t array;
+  response : Vec.t array;
+}
+
+let create ~design ~response =
+  let n_states = Array.length design in
+  assert (n_states > 0);
+  assert (Array.length response = n_states);
+  let n_samples = design.(0).Mat.rows in
+  let n_basis = design.(0).Mat.cols in
+  Array.iteri
+    (fun k (b : Mat.t) ->
+      assert (b.Mat.rows = n_samples);
+      assert (b.Mat.cols = n_basis);
+      assert (Array.length response.(k) = n_samples))
+    design;
+  { n_states; n_samples; n_basis; design; response }
+
+let truncate_samples d ~n =
+  assert (n > 0 && n <= d.n_samples);
+  let design =
+    Array.map
+      (fun (b : Mat.t) ->
+        Mat.submatrix b ~row0:0 ~col0:0 ~rows:n ~cols:b.Mat.cols)
+      d.design
+  in
+  let response = Array.map (fun y -> Array.sub y 0 n) d.response in
+  create ~design ~response
+
+let select_rows d idx =
+  assert (Array.length idx = d.n_states);
+  let design =
+    Array.mapi
+      (fun k rows ->
+        Mat.init (Array.length rows) d.n_basis (fun i j ->
+            Mat.get d.design.(k) rows.(i) j))
+      idx
+  in
+  let response =
+    Array.mapi
+      (fun k rows -> Array.map (fun i -> d.response.(k).(i)) rows)
+      idx
+  in
+  create ~design ~response
+
+let select_states d states =
+  assert (Array.length states > 0);
+  Array.iter (fun k -> assert (k >= 0 && k < d.n_states)) states;
+  create
+    ~design:(Array.map (fun k -> Mat.copy d.design.(k)) states)
+    ~response:(Array.map (fun k -> Array.copy d.response.(k)) states)
+
+let split_fold d ~n_folds ~fold =
+  assert (n_folds >= 2 && fold >= 0 && fold < n_folds);
+  assert (d.n_samples >= n_folds);
+  let test_rows = ref [] and train_rows = ref [] in
+  for i = d.n_samples - 1 downto 0 do
+    if i mod n_folds = fold then test_rows := i :: !test_rows
+    else train_rows := i :: !train_rows
+  done;
+  let test = Array.of_list !test_rows and train = Array.of_list !train_rows in
+  ( select_rows d (Array.make d.n_states train),
+    select_rows d (Array.make d.n_states test) )
+
+let response_norm d =
+  let acc = ref 0.0 in
+  Array.iter (fun y -> acc := !acc +. Vec.norm2_sq y) d.response;
+  sqrt !acc
+
+let total_samples d = d.n_states * d.n_samples
+
+let state_design d k = d.design.(k)
+
+let state_response d k = d.response.(k)

@@ -1,0 +1,46 @@
+(** Multi-state regression dataset.
+
+    One dataset holds, for every knob state k, the design matrix
+    B_k (N×M, eq. 3 of the paper) and the response vector y_k (one
+    performance of interest).  All states share the same dictionary
+    (column m of every B_k is the same basis function) and the same
+    sample count N. *)
+
+open Cbmf_linalg
+
+type t = private {
+  n_states : int;  (** K *)
+  n_samples : int;  (** N, per state *)
+  n_basis : int;  (** M *)
+  design : Mat.t array;  (** B_k, N×M *)
+  response : Vec.t array;  (** y_k, length N *)
+}
+
+val create : design:Mat.t array -> response:Vec.t array -> t
+(** Validates that all states agree on N and M. *)
+
+val truncate_samples : t -> n:int -> t
+(** Keep the first [n] samples of every state. *)
+
+val select_rows : t -> int array array -> t
+(** [select_rows d idx] keeps rows [idx.(k)] of state [k] (allows
+    duplication/reordering; used by cross-validation). *)
+
+val select_states : t -> int array -> t
+(** [select_states d states] keeps only the given states, in the given
+    order — the sub-problem a state cluster induces. *)
+
+val split_fold : t -> n_folds:int -> fold:int -> t * t
+(** [(train, test)] for deterministic interleaved folds: sample [i] of
+    every state belongs to fold [i mod n_folds].  Interleaving keeps
+    fold sizes balanced for any N. *)
+
+val response_norm : t -> float
+(** sqrt(Σ_k ‖y_k‖²) — denominator of pooled relative errors. *)
+
+val total_samples : t -> int
+(** N·K. *)
+
+val state_design : t -> int -> Mat.t
+
+val state_response : t -> int -> Vec.t

@@ -1,0 +1,147 @@
+open Cbmf_linalg
+
+type result = {
+  coeffs : Mat.t;
+  active : int array;
+  iterations : int;
+  converged : bool;
+}
+
+let is_constant_column (b : Mat.t) j =
+  let v0 = Mat.get b 0 j in
+  let ok = ref (v0 <> 0.0) in
+  for i = 1 to b.Mat.rows - 1 do
+    if Mat.get b i j <> v0 then ok := false
+  done;
+  !ok
+
+(* Block coordinate descent.  For group m the stacked subproblem is
+   separable over states: minimizing over the group vector g (length K)
+   ½ Σ_k ‖r_k + x_{k,m} g_k_old... ‖, with per-state curvature
+   c_k = ‖x_{k,m}‖² and gradient point ρ_k = x_{k,m}ᵀ r_k + c_k·g_k.
+   The stationarity condition gives g_k = ρ_k/(c_k + λ/‖g‖); we solve
+   the scalar secular equation for s = ‖g‖ by a few Newton/bisection
+   steps, which is exact for this diagonal case. *)
+let solve_group ~rho ~curv ~lambda =
+  let k = Array.length rho in
+  (* If ‖(ρ_k/1)‖ scaled: group is zero iff ‖ρ‖ ≤ λ. *)
+  let rho_norm = Vec.norm2 rho in
+  if rho_norm <= lambda then Array.make k 0.0
+  else begin
+    (* Solve f(s) = Σ_k (ρ_k/(c_k + λ/s))² − s² = 0 for s > 0. *)
+    let g_of s = Array.init k (fun i -> rho.(i) /. (curv.(i) +. (lambda /. s))) in
+    let f s = Vec.norm2 (g_of s) -. s in
+    (* f is decreasing in... bracket: lo where f > 0, hi where f < 0. *)
+    let cmax = Array.fold_left Float.max 1e-12 curv in
+    let cmin =
+      Array.fold_left (fun a c -> if c > 0.0 then Float.min a c else a) cmax curv
+    in
+    let lo = ref (Float.max 1e-15 ((rho_norm -. lambda) /. cmax)) in
+    let hi = ref ((rho_norm -. lambda) /. Float.max cmin 1e-12 +. 1e-12) in
+    (* Guard the bracket. *)
+    for _ = 1 to 60 do
+      if f !lo < 0.0 then lo := !lo /. 2.0;
+      if f !hi > 0.0 then hi := !hi *. 2.0
+    done;
+    for _ = 1 to 80 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if f mid >= 0.0 then lo := mid else hi := mid
+    done;
+    g_of (0.5 *. (!lo +. !hi))
+  end
+
+let fit ?(max_iter = 500) ?(tol = 1e-6) (d : Dataset.t) ~lambda =
+  assert (lambda >= 0.0);
+  let k = d.Dataset.n_states
+  and n = d.Dataset.n_samples
+  and m = d.Dataset.n_basis in
+  ignore n;
+  let cols =
+    Array.init k (fun s -> Array.init m (fun j -> Mat.col d.Dataset.design.(s) j))
+  in
+  let curv = Array.init m (fun j -> Array.init k (fun s -> Vec.norm2_sq cols.(s).(j))) in
+  let penalized =
+    Array.init m (fun j -> not (is_constant_column d.Dataset.design.(0) j))
+  in
+  let beta = Mat.create k m in
+  let residual = Array.map Vec.copy d.Dataset.response in
+  let scale =
+    Array.fold_left (fun a y -> Float.max a (Vec.norm_inf y)) 1e-12
+      d.Dataset.response
+  in
+  let iterations = ref 0 and converged = ref false in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    let biggest_move = ref 0.0 in
+    for j = 0 to m - 1 do
+      let old_g = Array.init k (fun s -> Mat.get beta s j) in
+      let rho =
+        Array.init k (fun s ->
+            Vec.dot cols.(s).(j) residual.(s) +. (curv.(j).(s) *. old_g.(s)))
+      in
+      let new_g =
+        if penalized.(j) then solve_group ~rho ~curv:curv.(j) ~lambda
+        else
+          Array.init k (fun s ->
+              if curv.(j).(s) > 0.0 then rho.(s) /. curv.(j).(s) else 0.0)
+      in
+      for s = 0 to k - 1 do
+        if new_g.(s) <> old_g.(s) then begin
+          Vec.axpy (old_g.(s) -. new_g.(s)) cols.(s).(j) residual.(s);
+          Mat.set beta s j new_g.(s);
+          biggest_move := Float.max !biggest_move (abs_float (new_g.(s) -. old_g.(s)))
+        end
+      done
+    done;
+    if !biggest_move <= tol *. scale then converged := true
+  done;
+  let active = ref [] in
+  for j = m - 1 downto 0 do
+    if Vec.norm2 (Mat.col beta j) > 0.0 then active := j :: !active
+  done;
+  {
+    coeffs = beta;
+    active = Array.of_list !active;
+    iterations = !iterations;
+    converged = !converged;
+  }
+
+let lambda_max (d : Dataset.t) =
+  let k = d.Dataset.n_states and m = d.Dataset.n_basis in
+  (* Center responses if an intercept column exists (it absorbs means). *)
+  let has_intercept = is_constant_column d.Dataset.design.(0) 0 in
+  let ys =
+    Array.map
+      (fun y ->
+        if has_intercept then begin
+          let mu = Vec.mean y in
+          Array.map (fun v -> v -. mu) y
+        end
+        else y)
+      d.Dataset.response
+  in
+  let worst = ref 0.0 in
+  for j = 0 to m - 1 do
+    if not (is_constant_column d.Dataset.design.(0) j) then begin
+      let g =
+        Array.init k (fun s -> Vec.dot (Mat.col d.Dataset.design.(s) j) ys.(s))
+      in
+      worst := Float.max !worst (Vec.norm2 g)
+    end
+  done;
+  Float.max !worst 1e-12
+
+let fit_cv (d : Dataset.t) ?(n_lambdas = 8) ~n_folds () =
+  let lmax = lambda_max d in
+  let lambdas = Crossval.log_grid ~lo:(1e-3 *. lmax) ~hi:lmax ~n:n_lambdas in
+  let cv_error lambda =
+    let acc = ref 0.0 in
+    for fold = 0 to n_folds - 1 do
+      let train, test = Dataset.split_fold d ~n_folds ~fold in
+      let r = fit train ~lambda in
+      acc := !acc +. Metrics.coeffs_error_pooled ~coeffs:r.coeffs test
+    done;
+    !acc /. float_of_int n_folds
+  in
+  let best, _, _ = Crossval.select ~grid:lambdas ~score:cv_error in
+  (fit d ~lambda:best, best)

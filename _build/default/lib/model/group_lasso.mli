@@ -1,0 +1,32 @@
+(** Group lasso across knob states — the convex representative of the
+    shared-template family the paper cites ([20], [21]): each basis
+    function's coefficients over all K states form one group, penalized
+    by the L2,1 norm
+
+    ½ Σ_k ‖y_k − B_k α_k‖² + λ Σ_m ‖(α_{1,m} … α_{K,m})‖₂
+
+    so a basis function is either active in {e every} state or in none —
+    the shared sparse template — while coefficient magnitudes remain
+    free (no magnitude-correlation modeling, which is exactly the gap
+    C-BMF fills).  Solved by block coordinate descent. *)
+
+open Cbmf_linalg
+
+type result = {
+  coeffs : Mat.t;  (** K×M *)
+  active : int array;  (** basis functions with a nonzero group *)
+  iterations : int;
+  converged : bool;
+}
+
+val fit :
+  ?max_iter:int -> ?tol:float -> Dataset.t -> lambda:float -> result
+(** Constant (intercept) columns are left unpenalized. *)
+
+val lambda_max : Dataset.t -> float
+(** Smallest λ for which every penalized group is zero. *)
+
+val fit_cv :
+  Dataset.t -> ?n_lambdas:int -> n_folds:int -> unit -> result * float
+(** λ selected by pooled cross-validation on a log grid anchored at
+    {!lambda_max}. *)

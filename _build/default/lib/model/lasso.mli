@@ -1,0 +1,40 @@
+(** L1-regularized least squares (lasso) by cyclic coordinate descent —
+    the classic single-response sparse-regression baseline the paper's
+    related work builds on [16]-[17].
+
+    Constant (intercept-like) columns are detected and left
+    unpenalized, so datasets carrying an explicit constant basis
+    function can be fitted directly. *)
+
+open Cbmf_linalg
+
+type result = {
+  coeffs : Vec.t;
+  iterations : int;
+  converged : bool;
+}
+
+val fit_vec :
+  ?max_iter:int ->
+  ?tol:float ->
+  design:Mat.t ->
+  response:Vec.t ->
+  lambda:float ->
+  unit ->
+  result
+(** Minimize ½‖y − Bα‖² + λ·Σ|α_j| (intercept columns excluded from
+    the penalty).  [tol] (default 1e-7) bounds the largest coefficient
+    change per sweep relative to the response scale; [max_iter]
+    defaults to 1000 sweeps. *)
+
+val lambda_max : design:Mat.t -> response:Vec.t -> float
+(** Smallest λ for which every penalized coefficient is zero —
+    the standard anchor for λ grids. *)
+
+val fit : Dataset.t -> lambda:float -> Mat.t
+(** Independent per-state lasso; K×M coefficients. *)
+
+val fit_cv : Dataset.t -> ?n_lambdas:int -> n_folds:int -> unit -> Mat.t * float
+(** Select λ on a logarithmic grid anchored at {!lambda_max} by pooled
+    cross-validation, then refit.  Returns coefficients and the chosen
+    λ. *)

@@ -1,0 +1,58 @@
+open Cbmf_linalg
+
+let rmse ~predicted ~actual =
+  assert (Array.length predicted = Array.length actual);
+  assert (Array.length actual > 0);
+  Vec.dist predicted actual /. sqrt (float_of_int (Array.length actual))
+
+let relative_rms ~predicted ~actual =
+  let denom = Vec.norm2 actual in
+  if denom <= 0.0 then invalid_arg "Metrics.relative_rms: zero actual";
+  Vec.dist predicted actual /. denom
+
+let relative_rms_pooled pairs =
+  assert (Array.length pairs > 0);
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iter
+    (fun (predicted, actual) ->
+      let d = Vec.dist predicted actual in
+      num := !num +. (d *. d);
+      den := !den +. Vec.norm2_sq actual)
+    pairs;
+  if !den <= 0.0 then invalid_arg "Metrics.relative_rms_pooled: zero actual";
+  sqrt (!num /. !den)
+
+let percent x = 100.0 *. x
+
+let r_squared ~predicted ~actual =
+  let n = Array.length actual in
+  assert (n > 0 && Array.length predicted = n);
+  let mean = Vec.mean actual in
+  let ss_tot = ref 0.0 and ss_res = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dt = actual.(i) -. mean in
+    let dr = actual.(i) -. predicted.(i) in
+    ss_tot := !ss_tot +. (dt *. dt);
+    ss_res := !ss_res +. (dr *. dr)
+  done;
+  if !ss_tot <= 0.0 then 0.0 else 1.0 -. (!ss_res /. !ss_tot)
+
+let max_abs_error ~predicted ~actual =
+  assert (Array.length predicted = Array.length actual);
+  let worst = ref 0.0 in
+  for i = 0 to Array.length actual - 1 do
+    worst := Float.max !worst (abs_float (predicted.(i) -. actual.(i)))
+  done;
+  !worst
+
+let predict_state ~coeffs (d : Dataset.t) k =
+  assert (coeffs.Mat.rows = d.Dataset.n_states);
+  assert (coeffs.Mat.cols = d.Dataset.n_basis);
+  Mat.mat_vec d.Dataset.design.(k) (Mat.row coeffs k)
+
+let coeffs_error_pooled ~coeffs (d : Dataset.t) =
+  let pairs =
+    Array.init d.Dataset.n_states (fun k ->
+        (predict_state ~coeffs d k, d.Dataset.response.(k)))
+  in
+  relative_rms_pooled pairs

@@ -1,0 +1,23 @@
+open Cbmf_linalg
+
+let fit_vec ~design ~response = Qr.lstsq design response
+
+let fit (d : Dataset.t) =
+  assert (d.Dataset.n_samples >= d.Dataset.n_basis);
+  let coeffs = Mat.create d.Dataset.n_states d.Dataset.n_basis in
+  for k = 0 to d.Dataset.n_states - 1 do
+    Mat.set_row coeffs k
+      (fit_vec ~design:d.Dataset.design.(k) ~response:d.Dataset.response.(k))
+  done;
+  coeffs
+
+let fit_on_support (d : Dataset.t) ~support =
+  assert (Array.length support > 0);
+  assert (d.Dataset.n_samples >= Array.length support);
+  let coeffs = Mat.create d.Dataset.n_states d.Dataset.n_basis in
+  for k = 0 to d.Dataset.n_states - 1 do
+    let sub = Mat.select_cols d.Dataset.design.(k) support in
+    let c = fit_vec ~design:sub ~response:d.Dataset.response.(k) in
+    Array.iteri (fun j m -> Mat.set coeffs k m c.(j)) support
+  done;
+  coeffs

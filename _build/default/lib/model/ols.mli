@@ -1,0 +1,15 @@
+(** Ordinary least squares — the paper's eq. (2) reference method. *)
+
+open Cbmf_linalg
+
+val fit_vec : design:Mat.t -> response:Vec.t -> Vec.t
+(** Minimum-residual coefficients via QR.  Requires at least as many
+    rows as columns and full column rank. *)
+
+val fit : Dataset.t -> Mat.t
+(** Independent per-state least squares; returns the K×M coefficient
+    matrix.  Requires N ≥ M. *)
+
+val fit_on_support : Dataset.t -> support:int array -> Mat.t
+(** Per-state least squares restricted to the given columns; the
+    result is K×M with zeros off the support. *)

@@ -1,0 +1,83 @@
+open Cbmf_linalg
+
+type result = { support : int array; coeffs : Vec.t }
+
+let fit ~design ~response ~n_terms =
+  let n = design.Mat.rows and m = design.Mat.cols in
+  assert (Array.length response = n);
+  let n_terms = Stdlib.min n_terms (Stdlib.min n m) in
+  assert (n_terms > 0);
+  let norms = Cbmf_basis.Dictionary.column_norms design in
+  let selected = Array.make m false in
+  let support = ref [] in
+  let residual = ref (Vec.copy response) in
+  let coeffs_on set =
+    let sup = Array.of_list (List.rev set) in
+    let sub = Mat.select_cols design sup in
+    (sup, Qr.lstsq sub response, sub)
+  in
+  let last = ref None in
+  (try
+     for _ = 1 to n_terms do
+       (* Score all unselected columns against the residual. *)
+       let best = ref (-1) and best_score = ref neg_infinity in
+       let scores = Mat.mat_tvec design !residual in
+       for j = 0 to m - 1 do
+         if not selected.(j) then begin
+           let s = abs_float scores.(j) /. norms.(j) in
+           if s > !best_score then begin
+             best_score := s;
+             best := j
+           end
+         end
+       done;
+       if !best < 0 then raise Exit;
+       selected.(!best) <- true;
+       support := !best :: !support;
+       let sup, c, sub = coeffs_on !support in
+       last := Some (sup, c);
+       residual := Vec.sub response (Mat.mat_vec sub c)
+     done
+   with Exit | Qr.Rank_deficient _ -> ());
+  match !last with
+  | None -> invalid_arg "Omp.fit: no column selected"
+  | Some (sup, c) ->
+      let coeffs = Vec.create m in
+      Array.iteri (fun j col -> coeffs.(col) <- c.(j)) sup;
+      { support = sup; coeffs }
+
+let predict r design = Mat.mat_vec design r.coeffs
+
+let fit_cv ~design ~response ~n_folds ~candidate_terms =
+  assert (Array.length candidate_terms > 0);
+  let n = design.Mat.rows in
+  assert (n >= n_folds);
+  let fold_error terms =
+    let acc = ref 0.0 in
+    for fold = 0 to n_folds - 1 do
+      let train_rows = ref [] and test_rows = ref [] in
+      for i = n - 1 downto 0 do
+        if i mod n_folds = fold then test_rows := i :: !test_rows
+        else train_rows := i :: !train_rows
+      done;
+      let pick rows (v : Vec.t) = Array.map (fun i -> v.(i)) (Array.of_list rows) in
+      let pick_m rows =
+        let rows = Array.of_list rows in
+        Mat.init (Array.length rows) design.Mat.cols (fun i j ->
+            Mat.get design rows.(i) j)
+      in
+      let r =
+        fit ~design:(pick_m !train_rows) ~response:(pick !train_rows response)
+          ~n_terms:terms
+      in
+      let predicted = predict r (pick_m !test_rows) in
+      acc :=
+        !acc
+        +. Metrics.relative_rms ~predicted ~actual:(pick !test_rows response)
+    done;
+    !acc /. float_of_int n_folds
+  in
+  let errors = Array.map fold_error candidate_terms in
+  let best = Vec.argmin errors in
+  let chosen = candidate_terms.(best) in
+  (fit ~design ~response ~n_terms:chosen, chosen)

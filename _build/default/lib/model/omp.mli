@@ -1,0 +1,26 @@
+(** Orthogonal matching pursuit — the classic single-response sparse
+    regression baseline [16]. *)
+
+open Cbmf_linalg
+
+type result = {
+  support : int array;  (** selected columns, in selection order *)
+  coeffs : Vec.t;  (** length M, zeros off the support *)
+}
+
+val fit : design:Mat.t -> response:Vec.t -> n_terms:int -> result
+(** Greedy selection of [n_terms] columns (capped at both the column
+    and row counts), re-solving least squares on the support at every
+    step. *)
+
+val fit_cv :
+  design:Mat.t ->
+  response:Vec.t ->
+  n_folds:int ->
+  candidate_terms:int array ->
+  result * int
+(** Choose the sparsity level by cross-validation over
+    [candidate_terms], then refit on all rows.  Returns the model and
+    the chosen level. *)
+
+val predict : result -> Mat.t -> Vec.t

@@ -1,0 +1,42 @@
+open Cbmf_linalg
+
+let fit_vec ~design ~response ~lambda =
+  assert (lambda > 0.0);
+  let n = design.Mat.rows and m = design.Mat.cols in
+  if n >= m then begin
+    let gram = Mat.gram design in
+    Mat.add_diag_inplace gram lambda;
+    let rhs = Mat.mat_tvec design response in
+    Chol.solve_vec (Chol.factorize_with_retry gram) rhs
+  end
+  else begin
+    (* Dual form: α = Bᵀ (B Bᵀ + λI)⁻¹ y. *)
+    let outer = Mat.matmul_nt design design in
+    Mat.add_diag_inplace outer lambda;
+    let w = Chol.solve_vec (Chol.factorize_with_retry outer) response in
+    Mat.mat_tvec design w
+  end
+
+let fit (d : Dataset.t) ~lambda =
+  let coeffs = Mat.create d.Dataset.n_states d.Dataset.n_basis in
+  for k = 0 to d.Dataset.n_states - 1 do
+    Mat.set_row coeffs k
+      (fit_vec ~design:d.Dataset.design.(k) ~response:d.Dataset.response.(k)
+         ~lambda)
+  done;
+  coeffs
+
+let fit_cv (d : Dataset.t) ~lambdas ~n_folds =
+  assert (Array.length lambdas > 0);
+  let cv_error lambda =
+    let acc = ref 0.0 in
+    for fold = 0 to n_folds - 1 do
+      let train, test = Dataset.split_fold d ~n_folds ~fold in
+      let coeffs = fit train ~lambda in
+      acc := !acc +. Metrics.coeffs_error_pooled ~coeffs test
+    done;
+    !acc /. float_of_int n_folds
+  in
+  let errors = Array.map cv_error lambdas in
+  let best = Vec.argmin errors in
+  (fit d ~lambda:lambdas.(best), lambdas.(best))

@@ -1,0 +1,16 @@
+(** Ridge (L2-regularized) regression — a dense baseline usable when
+    N < M, and the independent-prior special case of Bayesian fitting. *)
+
+open Cbmf_linalg
+
+val fit_vec : design:Mat.t -> response:Vec.t -> lambda:float -> Vec.t
+(** Solves (BᵀB + λI) α = Bᵀy via Cholesky.  Uses the dual (N×N)
+    formulation automatically when N < M, which keeps the solve cheap
+    for the high-dimensional dictionaries. *)
+
+val fit : Dataset.t -> lambda:float -> Mat.t
+(** Independent per-state ridge; K×M coefficients. *)
+
+val fit_cv : Dataset.t -> lambdas:float array -> n_folds:int -> Mat.t * float
+(** Select λ by pooled cross-validation error, then refit on all data.
+    Returns the coefficients and the chosen λ. *)

@@ -1,0 +1,66 @@
+open Cbmf_linalg
+
+type result = { support : int array; coeffs : Mat.t }
+
+let select_next (d : Dataset.t) ~residual ~exclude =
+  let m = d.Dataset.n_basis in
+  let scores = Array.make m 0.0 in
+  for k = 0 to d.Dataset.n_states - 1 do
+    let b = d.Dataset.design.(k) in
+    let norms = Cbmf_basis.Dictionary.column_norms b in
+    let corr = Mat.mat_tvec b residual.(k) in
+    for j = 0 to m - 1 do
+      scores.(j) <- scores.(j) +. (abs_float corr.(j) /. norms.(j))
+    done
+  done;
+  let best = ref (-1) and best_score = ref neg_infinity in
+  for j = 0 to m - 1 do
+    if (not exclude.(j)) && scores.(j) > !best_score then begin
+      best := j;
+      best_score := scores.(j)
+    end
+  done;
+  if !best < 0 then raise Not_found;
+  !best
+
+let fit (d : Dataset.t) ~n_terms =
+  let m = d.Dataset.n_basis in
+  let n_terms = Stdlib.min n_terms (Stdlib.min d.Dataset.n_samples m) in
+  assert (n_terms > 0);
+  let exclude = Array.make m false in
+  let support = ref [] in
+  let residual = Array.map Vec.copy d.Dataset.response in
+  let refit sup =
+    let coeffs = Ols.fit_on_support d ~support:sup in
+    for k = 0 to d.Dataset.n_states - 1 do
+      residual.(k) <-
+        Vec.sub d.Dataset.response.(k) (Metrics.predict_state ~coeffs d k)
+    done;
+    coeffs
+  in
+  let coeffs = ref (Mat.create d.Dataset.n_states m) in
+  (try
+     for _ = 1 to n_terms do
+       let j = select_next d ~residual ~exclude in
+       exclude.(j) <- true;
+       support := j :: !support;
+       coeffs := refit (Array.of_list (List.rev !support))
+     done
+   with Not_found | Qr.Rank_deficient _ -> ());
+  { support = Array.of_list (List.rev !support); coeffs = !coeffs }
+
+let fit_cv (d : Dataset.t) ~n_folds ~candidate_terms =
+  assert (Array.length candidate_terms > 0);
+  let cv_error terms =
+    let acc = ref 0.0 in
+    for fold = 0 to n_folds - 1 do
+      let train, test = Dataset.split_fold d ~n_folds ~fold in
+      let r = fit train ~n_terms:terms in
+      acc := !acc +. Metrics.coeffs_error_pooled ~coeffs:r.coeffs test
+    done;
+    !acc /. float_of_int n_folds
+  in
+  let errors = Array.map cv_error candidate_terms in
+  let best = Vec.argmin errors in
+  let chosen = candidate_terms.(best) in
+  (fit d ~n_terms:chosen, chosen)

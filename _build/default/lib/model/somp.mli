@@ -1,0 +1,29 @@
+(** Simultaneous orthogonal matching pursuit (S-OMP) [19] — the
+    state-of-the-art baseline the paper compares against.
+
+    S-OMP assumes all states share one sparse model template: at every
+    greedy step the basis function maximizing the {e summed} residual
+    correlation over all states (paper eq. 33) joins the shared
+    support, and each state's coefficients are re-solved independently
+    by least squares on that support. *)
+
+open Cbmf_linalg
+
+type result = {
+  support : int array;  (** shared template, in selection order *)
+  coeffs : Mat.t;  (** K×M, zeros off the support *)
+}
+
+val select_next : Dataset.t -> residual:Vec.t array -> exclude:bool array -> int
+(** One greedy selection step (eq. 33, with per-state column
+    normalization); returns the winning column.  Raises [Not_found] if
+    every column is excluded. *)
+
+val fit : Dataset.t -> n_terms:int -> result
+(** Greedy fit with a fixed support size (capped at N and M). *)
+
+val fit_cv :
+  Dataset.t -> n_folds:int -> candidate_terms:int array -> result * int
+(** Sparsity level chosen by pooled cross-validation, refit on all
+    samples.  This is the full baseline configuration used in the
+    experiments. *)

@@ -1,0 +1,1 @@
+lib/prob/lhs.ml: Array Cbmf_linalg Float Gaussian Mat Rng

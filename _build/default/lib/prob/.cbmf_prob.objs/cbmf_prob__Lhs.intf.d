@@ -1,0 +1,1 @@
+lib/prob/lhs.mli: Cbmf_linalg Mat Rng

@@ -1,0 +1,1 @@
+lib/prob/mvn.ml: Array Cbmf_linalg Chol Float Mat Rng Vec

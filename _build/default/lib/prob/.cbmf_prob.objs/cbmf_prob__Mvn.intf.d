@@ -1,0 +1,1 @@
+lib/prob/mvn.mli: Cbmf_linalg Mat Rng Vec

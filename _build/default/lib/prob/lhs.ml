@@ -1,0 +1,20 @@
+open Cbmf_linalg
+
+let uniform r ~n ~dim =
+  assert (n > 0 && dim > 0);
+  let out = Mat.create n dim in
+  for j = 0 to dim - 1 do
+    let perm = Rng.permutation r n in
+    for i = 0 to n - 1 do
+      let stratum = float_of_int perm.(i) in
+      Mat.set out i j ((stratum +. Rng.float r) /. float_of_int n)
+    done
+  done;
+  out
+
+let gaussian r ~n ~dim =
+  let u = uniform r ~n ~dim in
+  (* Clamp away from {0,1} to keep the quantile finite. *)
+  Mat.map
+    (fun p -> Gaussian.quantile (Float.min (Float.max p 1e-12) (1.0 -. 1e-12)))
+    u

@@ -1,0 +1,12 @@
+(** Latin hypercube sampling — the usual space-filling design for
+    simulation-budget-constrained Monte Carlo. *)
+
+open Cbmf_linalg
+
+val uniform : Rng.t -> n:int -> dim:int -> Mat.t
+(** [uniform r ~n ~dim] returns an n×dim matrix of LHS points in
+    [0, 1)^dim: each column is a random permutation of jittered strata. *)
+
+val gaussian : Rng.t -> n:int -> dim:int -> Mat.t
+(** LHS pushed through the standard normal quantile — stratified
+    standard-normal samples, one row per point. *)

@@ -1,0 +1,69 @@
+open Cbmf_linalg
+
+type t = { mu : Vec.t; cov : Mat.t; chol : Chol.t }
+
+let create ~mu ~cov =
+  assert (Mat.is_square cov);
+  assert (Array.length mu = cov.Mat.rows);
+  let chol = Chol.factorize_with_retry cov in
+  { mu; cov; chol }
+
+let standard n = create ~mu:(Vec.create n) ~cov:(Mat.identity n)
+
+let dim d = Array.length d.mu
+
+let mean d = Vec.copy d.mu
+
+let covariance d = Mat.copy d.cov
+
+let sample d r =
+  let z = Rng.gaussian_vector r (dim d) in
+  let x = Chol.sample_transform d.chol z in
+  Vec.add_inplace x d.mu;
+  x
+
+let sample_n d r n =
+  let k = dim d in
+  let out = Mat.create n k in
+  for i = 0 to n - 1 do
+    Mat.set_row out i (sample d r)
+  done;
+  out
+
+let log_pdf d x =
+  let n = float_of_int (dim d) in
+  let m2 = Chol.mahalanobis_sq d.chol x d.mu in
+  -0.5 *. (m2 +. Chol.log_det d.chol +. (n *. log (2.0 *. Float.pi)))
+
+let mahalanobis_sq d x = Chol.mahalanobis_sq d.chol x d.mu
+
+let conditional d ~indices ~values =
+  let n = dim d in
+  let given = Array.make n false in
+  Array.iter
+    (fun i ->
+      assert (i >= 0 && i < n);
+      given.(i) <- true)
+    indices;
+  assert (Array.length indices = Array.length values);
+  let rest = ref [] in
+  for i = n - 1 downto 0 do
+    if not given.(i) then rest := i :: !rest
+  done;
+  let rest = Array.of_list !rest in
+  let nr = Array.length rest and ng = Array.length indices in
+  assert (nr > 0);
+  let s_rr = Mat.init nr nr (fun i j -> Mat.get d.cov rest.(i) rest.(j)) in
+  let s_rg = Mat.init nr ng (fun i j -> Mat.get d.cov rest.(i) indices.(j)) in
+  let s_gg = Mat.init ng ng (fun i j -> Mat.get d.cov indices.(i) indices.(j)) in
+  let delta = Array.init ng (fun j -> values.(j) -. d.mu.(indices.(j))) in
+  let gg = Chol.factorize_with_retry s_gg in
+  (* mu' = mu_r + S_rg S_gg⁻¹ delta;  S' = S_rr − S_rg S_gg⁻¹ S_gr *)
+  let w = Chol.solve_vec gg delta in
+  let mu' =
+    Array.init nr (fun i -> d.mu.(rest.(i)) +. Vec.dot (Mat.row s_rg i) w)
+  in
+  let sginv_sgr = Chol.solve_mat gg (Mat.transpose s_rg) in
+  let cov' = Mat.sub s_rr (Mat.matmul s_rg sginv_sgr) in
+  Mat.symmetrize_inplace cov';
+  create ~mu:mu' ~cov:cov'

@@ -1,0 +1,32 @@
+(** Multivariate normal distributions with dense covariance. *)
+
+open Cbmf_linalg
+
+type t
+
+val create : mu:Vec.t -> cov:Mat.t -> t
+(** The covariance must be symmetric positive definite (a small retry
+    jitter is applied automatically for borderline matrices). *)
+
+val standard : int -> t
+(** N(0, I_n). *)
+
+val dim : t -> int
+
+val mean : t -> Vec.t
+
+val covariance : t -> Mat.t
+
+val sample : t -> Rng.t -> Vec.t
+
+val sample_n : t -> Rng.t -> int -> Mat.t
+(** [sample_n d r n] stacks [n] draws as rows. *)
+
+val log_pdf : t -> Vec.t -> float
+
+val mahalanobis_sq : t -> Vec.t -> float
+
+val conditional : t -> indices:int array -> values:Vec.t -> t
+(** [conditional d ~indices ~values] is the distribution of the
+    remaining coordinates given that the coordinates in [indices] equal
+    [values] — the classic Gaussian conditioning formula. *)

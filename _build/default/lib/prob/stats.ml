@@ -1,0 +1,93 @@
+let mean xs =
+  assert (Array.length xs > 0);
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      xs;
+    !acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let central_moment xs k =
+  let m = mean xs in
+  let acc = ref 0.0 in
+  Array.iter (fun x -> acc := !acc +. ((x -. m) ** float_of_int k)) xs;
+  !acc /. float_of_int (Array.length xs)
+
+let skewness xs =
+  let m2 = central_moment xs 2 and m3 = central_moment xs 3 in
+  if m2 <= 0.0 then 0.0 else m3 /. (m2 ** 1.5)
+
+let kurtosis_excess xs =
+  let m2 = central_moment xs 2 and m4 = central_moment xs 4 in
+  if m2 <= 0.0 then 0.0 else (m4 /. (m2 *. m2)) -. 3.0
+
+let quantile xs p =
+  assert (Array.length xs > 0);
+  assert (p >= 0.0 && p <= 1.0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+  end
+
+let median xs = quantile xs 0.5
+
+let minimum xs =
+  assert (Array.length xs > 0);
+  Array.fold_left Float.min xs.(0) xs
+
+let maximum xs =
+  assert (Array.length xs > 0);
+  Array.fold_left Float.max xs.(0) xs
+
+let covariance xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys);
+  if n < 2 then 0.0
+  else begin
+    let mx = mean xs and my = mean ys in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+    done;
+    !acc /. float_of_int (n - 1)
+  end
+
+let pearson xs ys =
+  let sx = stddev xs and sy = stddev ys in
+  if sx <= 0.0 || sy <= 0.0 then 0.0 else covariance xs ys /. (sx *. sy)
+
+let histogram ?(bins = 20) xs =
+  assert (bins > 0 && Array.length xs > 0);
+  let lo = minimum xs and hi = maximum xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = Stdlib.min (Stdlib.max b 0) (bins - 1) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts
+
+let summary xs =
+  Printf.sprintf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g"
+    (Array.length xs) (mean xs) (stddev xs) (minimum xs) (median xs)
+    (maximum xs)

@@ -1,0 +1,36 @@
+(** Descriptive statistics used by the experiment harness and tests. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Unbiased (n−1) sample variance; 0 for singletons. *)
+
+val stddev : float array -> float
+
+val skewness : float array -> float
+(** Sample skewness (biased, moment-based). *)
+
+val kurtosis_excess : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs p] with linear interpolation between order statistics;
+    [p] in [0, 1].  Does not modify its argument. *)
+
+val median : float array -> float
+
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; 0 when either side is constant. *)
+
+val covariance : float array -> float array -> float
+(** Unbiased sample covariance. *)
+
+val histogram : ?bins:int -> float array -> (float * int) array
+(** [histogram xs] returns [(left_edge, count)] pairs over equal-width
+    bins (default 20) spanning the data range. *)
+
+val summary : float array -> string
+(** One-line human-readable summary (n/mean/sd/min/median/max). *)

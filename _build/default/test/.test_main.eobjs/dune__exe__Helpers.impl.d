@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Cbmf_linalg Cbmf_prob Mat QCheck2 QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_basis.ml: Array Cbmf_basis Cbmf_linalg Dictionary Helpers Mat QCheck2 Term Vec

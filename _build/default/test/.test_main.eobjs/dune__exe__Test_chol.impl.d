@@ -1,0 +1,1 @@
+test/test_chol.ml: Alcotest Cbmf_linalg Chol Float Helpers Mat QCheck2 Vec

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Array Cbmf_circuit Cbmf_prob Float Helpers Knob List Mosfet Process String Units

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Array Cbmf Cbmf_core Cbmf_linalg Cbmf_model Cbmf_prob Cluster Dataset Helpers Mat Printf Vec

@@ -1,0 +1,1 @@
+test/test_complex.ml: Alcotest Array Cbmf_linalg Cbmf_prob Clu Cmat Complex Helpers QCheck2

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cbmf Cbmf_core Cbmf_linalg Cbmf_model Cbmf_prob Chol Dataset Em Fun Helpers Init List Mat Metrics Ols Posterior Printf Prior Somp Standardize Vec

@@ -1,0 +1,1 @@
+test/test_group_lasso.ml: Array Cbmf_linalg Cbmf_model Cbmf_prob Dataset Group_lasso Helpers Mat Metrics Ols Vec

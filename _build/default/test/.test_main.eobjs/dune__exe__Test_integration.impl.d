@@ -1,0 +1,1 @@
+test/test_integration.ml: Array Cbmf_circuit Cbmf_core Cbmf_experiments Cbmf_model Dataset Helpers Lazy Metrics Printf Somp Sweep Tables Workload

@@ -1,0 +1,1 @@
+test/test_lasso.ml: Array Cbmf_linalg Cbmf_model Cbmf_prob Dataset Float Helpers Lasso Mat Metrics Qr Vec

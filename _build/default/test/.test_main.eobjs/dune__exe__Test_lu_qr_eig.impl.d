@@ -1,0 +1,1 @@
+test/test_lu_qr_eig.ml: Alcotest Array Cbmf_linalg Chol Eig Fun Helpers Lu Mat QCheck2 Qr Vec

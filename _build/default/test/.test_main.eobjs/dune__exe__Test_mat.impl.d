@@ -1,0 +1,1 @@
+test/test_mat.ml: Array Cbmf_linalg Helpers Mat QCheck2 Vec

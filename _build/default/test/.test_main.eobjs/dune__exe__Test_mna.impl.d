@@ -1,0 +1,1 @@
+test/test_mna.ml: Alcotest Cbmf_circuit Complex Float Helpers Mna Noise Nonlin String Units

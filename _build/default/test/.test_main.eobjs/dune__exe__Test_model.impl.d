@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Cbmf_linalg Cbmf_model Cbmf_prob Crossval Dataset Helpers Mat Metrics Ols Omp Ridge Somp Vec

@@ -1,0 +1,1 @@
+test/test_prob.ml: Array Cbmf_linalg Cbmf_prob Float Fun Gaussian Helpers Lhs List Mat Mvn Rng Stats Vec

@@ -1,0 +1,1 @@
+test/test_testbench.ml: Array Cbmf_circuit Cbmf_linalg Cbmf_prob Float Helpers Lazy Lna Mat Mixer Montecarlo Process Testbench

@@ -1,0 +1,1 @@
+test/test_vec.ml: Array Cbmf_linalg Helpers List QCheck2 Stdlib Vec

@@ -1,0 +1,48 @@
+(* Shared test utilities. *)
+
+open Cbmf_linalg
+
+let check_float ?(tol = 1e-9) name expected actual =
+  Alcotest.(check (float tol)) name expected actual
+
+let check_true name b = Alcotest.(check bool) name true b
+
+let check_int name expected actual = Alcotest.(check int) name expected actual
+
+let check_raises_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let case name f = Alcotest.test_case name `Quick f
+
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let qcase ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* Deterministic random matrices/vectors for tests. *)
+let rng = Cbmf_prob.Rng.create 20260704
+
+let random_vec n = Cbmf_prob.Rng.gaussian_vector rng n
+
+let random_mat r c = Mat.init r c (fun _ _ -> Cbmf_prob.Rng.gaussian rng)
+
+let random_spd n =
+  (* aᵀa + n·I is comfortably positive definite. *)
+  let a = random_mat n n in
+  let g = Mat.gram a in
+  Mat.add_diag_inplace g (float_of_int n *. 0.5);
+  Mat.symmetrize_inplace g;
+  g
+
+let mat_close ?(tol = 1e-8) name a b =
+  if not (Mat.approx_equal ~tol a b) then
+    Alcotest.failf "%s: matrices differ (max delta %g)" name
+      (Mat.max_abs (Mat.sub a b))
+
+let vec_close ?(tol = 1e-8) name a b =
+  if not (Vec.approx_equal ~tol a b) then
+    Alcotest.failf "%s: vectors differ (max delta %g)" name
+      (Vec.norm_inf (Vec.sub a b))

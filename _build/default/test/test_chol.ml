@@ -1,0 +1,141 @@
+open Cbmf_linalg
+open Helpers
+
+let test_reconstruct () =
+  let a = random_spd 6 in
+  let f = Chol.factorize a in
+  let l = Chol.lower f in
+  mat_close ~tol:1e-9 "l·lᵀ = a" a (Mat.matmul_nt l l)
+
+let test_solve () =
+  let a = random_spd 8 in
+  let x = random_vec 8 in
+  let b = Mat.mat_vec a x in
+  let f = Chol.factorize a in
+  vec_close ~tol:1e-7 "solve" x (Chol.solve_vec f b)
+
+let test_solve_mat () =
+  let a = random_spd 5 in
+  let f = Chol.factorize a in
+  let x = random_mat 5 3 in
+  let b = Mat.matmul a x in
+  mat_close ~tol:1e-7 "solve_mat" x (Chol.solve_mat f b)
+
+let test_inverse () =
+  let a = random_spd 5 in
+  let inv = Chol.inverse (Chol.factorize a) in
+  mat_close ~tol:1e-8 "a·a⁻¹ = I" (Mat.identity 5) (Mat.matmul a inv);
+  check_true "inverse symmetric" (Mat.is_symmetric ~tol:1e-8 inv)
+
+let test_logdet () =
+  let d = Mat.diag (Vec.of_list [ 2.0; 3.0; 4.0 ]) in
+  check_float ~tol:1e-10 "logdet diag" (log 24.0) (Chol.log_det (Chol.factorize d));
+  check_float ~tol:1e-8 "det diag" 24.0 (Chol.det (Chol.factorize d))
+
+let test_quad_inv () =
+  let a = random_spd 6 in
+  let f = Chol.factorize a in
+  let b = random_vec 6 in
+  check_float ~tol:1e-8 "quad_inv = bᵀa⁻¹b"
+    (Vec.dot b (Chol.solve_vec f b))
+    (Chol.quad_inv f b)
+
+let test_trace_inverse () =
+  let a = random_spd 7 in
+  let f = Chol.factorize a in
+  check_float ~tol:1e-8 "trace_inverse"
+    (Mat.trace (Chol.inverse f))
+    (Chol.trace_inverse f)
+
+let test_not_pd () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  (match Chol.factorize a with
+  | _ -> Alcotest.fail "expected Not_positive_definite"
+  | exception Chol.Not_positive_definite _ -> ());
+  check_true "is_positive_definite false" (not (Chol.is_positive_definite a));
+  check_true "retry repairs"
+    (let _ = Chol.factorize_with_retry (Mat.scalar 3 1e-18) in
+     true)
+
+let test_rank1_update () =
+  let a = random_spd 6 in
+  let v = random_vec 6 in
+  let f = Chol.factorize a in
+  Chol.rank1_update f (Vec.copy v);
+  let updated = Mat.copy a in
+  Mat.add_outer_inplace updated 1.0 v v;
+  mat_close ~tol:1e-8 "cholupdate"
+    updated
+    (let l = Chol.lower f in
+     Mat.matmul_nt l l)
+
+let test_rank1_sequence () =
+  (* Build a + Σ v_i v_iᵀ by repeated updates; compare against direct. *)
+  let n = 5 in
+  let a = Mat.scalar n 0.5 in
+  let f = Chol.of_scaled_identity n 0.5 in
+  let acc = Mat.copy a in
+  for _ = 1 to 8 do
+    let v = random_vec n in
+    Mat.add_outer_inplace acc 1.0 v v;
+    Chol.rank1_update f v
+  done;
+  let direct = Chol.factorize acc in
+  check_float ~tol:1e-7 "logdet after updates" (Chol.log_det direct) (Chol.log_det f);
+  let b = random_vec n in
+  vec_close ~tol:1e-7 "solve after updates" (Chol.solve_vec direct b)
+    (Chol.solve_vec f b)
+
+let test_copy_independent () =
+  let f = Chol.factorize (random_spd 4) in
+  let g = Chol.copy f in
+  Chol.rank1_update g (random_vec 4);
+  (* The original must be unchanged: logdet of copy differs. *)
+  check_true "copy independent" (Chol.log_det f < Chol.log_det g)
+
+let test_nearest_pd () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Chol.nearest_pd_inplace a;
+  check_true "repaired PD" (Chol.is_positive_definite a)
+
+let test_sample_transform () =
+  let a = random_spd 4 in
+  let f = Chol.factorize a in
+  let z = random_vec 4 in
+  vec_close ~tol:1e-10 "l·z" (Mat.mat_vec (Chol.lower f) z) (Chol.sample_transform f z)
+
+let prop_solve_residual =
+  qcase ~count:40 "‖a·solve(b) − b‖ small"
+    QCheck2.Gen.(int_range 1 10)
+    (fun n ->
+      let a = random_spd n in
+      let b = random_vec n in
+      let x = Chol.solve_vec (Chol.factorize a) b in
+      Vec.dist (Mat.mat_vec a x) b <= 1e-6 *. Float.max 1.0 (Vec.norm2 b))
+
+let prop_logdet_scaling =
+  qcase ~count:40 "logdet(c·a) = n·log c + logdet a"
+    QCheck2.Gen.(pair (int_range 1 8) (float_range 0.5 4.0))
+    (fun (n, c) ->
+      let a = random_spd n in
+      let ld = Chol.log_det (Chol.factorize a) in
+      let ldc = Chol.log_det (Chol.factorize (Mat.scale c a)) in
+      abs_float (ldc -. (ld +. (float_of_int n *. log c))) <= 1e-7)
+
+let suite =
+  [ ( "linalg.chol",
+      [ case "reconstruct" test_reconstruct;
+        case "solve" test_solve;
+        case "solve_mat" test_solve_mat;
+        case "inverse" test_inverse;
+        case "logdet/det" test_logdet;
+        case "quad_inv" test_quad_inv;
+        case "trace_inverse" test_trace_inverse;
+        case "non-PD detection" test_not_pd;
+        case "rank1 update" test_rank1_update;
+        case "rank1 sequence" test_rank1_sequence;
+        case "copy independence" test_copy_independent;
+        case "nearest_pd repair" test_nearest_pd;
+        case "sample_transform" test_sample_transform;
+        prop_solve_residual;
+        prop_logdet_scaling ] ) ]

@@ -1,0 +1,102 @@
+open Cbmf_linalg
+open Cbmf_model
+open Cbmf_core
+open Helpers
+
+(* Two-regime tunable circuit: states 0..5 follow one coefficient
+   pattern, states 6..11 an unrelated one — the situation the paper's
+   conclusion flags as breaking the unified correlation model. *)
+let two_regime ?(k = 12) ?(n = 8) ?(m = 30) ?(noise = 0.05) ?(seed = 41) () =
+  let rng = Cbmf_prob.Rng.create seed in
+  let split = k / 2 in
+  let coef s j =
+    if s < split then
+      match j with 0 -> 3.0 | 4 -> 2.0 | 11 -> -1.0 | _ -> 0.0
+    else
+      match j with 0 -> -1.0 | 7 -> 1.5 | 19 -> 2.5 | _ -> 0.0
+  in
+  let design =
+    Array.init k (fun _ ->
+        Mat.init n m (fun _ j -> if j = 0 then 1.0 else Cbmf_prob.Rng.gaussian rng))
+  in
+  let response =
+    Array.init k (fun s ->
+        Array.init n (fun i ->
+            let acc = ref (noise *. Cbmf_prob.Rng.gaussian rng) in
+            for j = 0 to m - 1 do
+              let c = coef s j in
+              if c <> 0.0 then acc := !acc +. (c *. Mat.get design.(s) i j)
+            done;
+            !acc))
+  in
+  Dataset.create ~design ~response
+
+let test_select_states () =
+  let d = two_regime () in
+  let sub = Dataset.select_states d [| 2; 7; 11 |] in
+  check_int "states" 3 sub.Dataset.n_states;
+  check_float "copied response" d.Dataset.response.(7).(3) sub.Dataset.response.(1).(3)
+
+let test_profiles_shape () =
+  let d = two_regime () in
+  let p = Cluster.profile_states d in
+  check_int "K rows" 12 (fst (Mat.dim p))
+
+let test_segment_finds_boundary () =
+  let d = two_regime ~n:20 () in
+  let a = Cluster.segment d ~n_clusters:2 in
+  check_int "two clusters" 2 (Array.length a.Cluster.clusters);
+  check_int "first cluster ends at 5" 6 (Array.length a.Cluster.clusters.(0));
+  check_int "gap count" 11 (Array.length a.Cluster.gaps);
+  (* The regime boundary (between states 5 and 6) has the largest gap. *)
+  check_int "largest gap at boundary" 5 (Vec.argmax a.Cluster.gaps)
+
+let test_auto_segment () =
+  let d = two_regime ~n:20 () in
+  let a = Cluster.auto_segment d in
+  check_int "auto finds two" 2 (Array.length a.Cluster.clusters);
+  (* A single-regime problem must stay a single cluster (same
+     profiling budget as above; clustering needs enough samples for
+     stable profiles). *)
+  let uniform = two_regime ~k:8 ~n:20 ~seed:43 () in
+  (* make it single-regime by selecting only the first half *)
+  let single = Dataset.select_states uniform [| 0; 1; 2; 3 |] in
+  let a1 = Cluster.auto_segment single in
+  check_int "single regime, one cluster" 1 (Array.length a1.Cluster.clusters)
+
+let test_clusters_cover_all_states () =
+  let d = two_regime () in
+  let a = Cluster.segment d ~n_clusters:3 in
+  let seen = Array.make 12 0 in
+  Array.iter (Array.iter (fun s -> seen.(s) <- seen.(s) + 1)) a.Cluster.clusters;
+  Array.iter (fun c -> check_int "covered once" 1 c) seen
+
+let test_clustered_beats_unified () =
+  let train = two_regime ~n:8 ~seed:41 () in
+  let test_data = two_regime ~n:60 ~seed:42 () in
+  let cfg = Cbmf.fast_config in
+  let unified = Cbmf.fit ~config:cfg train in
+  let e_unified = Cbmf.test_error unified test_data in
+  let a = Cluster.segment train ~n_clusters:2 in
+  let _, coeffs = Cluster.fit_clustered ~config:cfg train a in
+  let e_clustered = Cluster.test_error ~coeffs test_data in
+  check_true
+    (Printf.sprintf "clustered (%.4f) <= unified (%.4f)" e_clustered e_unified)
+    (e_clustered <= e_unified +. 1e-9)
+
+let test_singleton_cluster () =
+  let d = two_regime ~k:5 ~n:10 () in
+  let a = { Cluster.clusters = [| [| 0 |]; [| 1; 2; 3; 4 |] |]; gaps = [||] } in
+  let models, coeffs = Cluster.fit_clustered ~config:Cbmf.fast_config d a in
+  check_int "two models" 2 (Array.length models);
+  check_int "rows" 5 (fst (Mat.dim coeffs))
+
+let suite =
+  [ ( "core.cluster",
+      [ case "select_states" test_select_states;
+        case "profiles shape" test_profiles_shape;
+        case "segment finds regime boundary" test_segment_finds_boundary;
+        case "auto segment" test_auto_segment;
+        case "clusters cover states" test_clusters_cover_all_states;
+        slow_case "clustered beats unified on two regimes" test_clustered_beats_unified;
+        case "singleton cluster fallback" test_singleton_cluster ] ) ]

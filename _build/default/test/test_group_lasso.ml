@@ -1,0 +1,96 @@
+open Cbmf_linalg
+open Cbmf_model
+open Helpers
+
+let planted ?(k = 5) ?(n = 20) ?(m = 18) ?(noise = 0.02) ?(seed = 61) () =
+  let rng = Cbmf_prob.Rng.create seed in
+  let coef s j =
+    match j with
+    | 0 -> 1.0 +. (0.3 *. float_of_int s)
+    | 4 -> 2.0 -. (0.1 *. float_of_int s)
+    | 9 -> -1.0
+    | _ -> 0.0
+  in
+  let design =
+    Array.init k (fun _ ->
+        Mat.init n m (fun _ j -> if j = 0 then 1.0 else Cbmf_prob.Rng.gaussian rng))
+  in
+  let response =
+    Array.init k (fun s ->
+        Array.init n (fun i ->
+            let acc = ref (noise *. Cbmf_prob.Rng.gaussian rng) in
+            for j = 0 to m - 1 do
+              let c = coef s j in
+              if c <> 0.0 then acc := !acc +. (c *. Mat.get design.(s) i j)
+            done;
+            !acc))
+  in
+  Dataset.create ~design ~response
+
+let test_zero_lambda_is_ols () =
+  let d = planted () in
+  let r = Group_lasso.fit ~max_iter:5000 ~tol:1e-9 d ~lambda:0.0 in
+  let ols = Ols.fit d in
+  check_true "converged" r.Group_lasso.converged;
+  mat_close ~tol:1e-4 "matches per-state OLS" ols r.Group_lasso.coeffs
+
+let test_group_sparsity_pattern () =
+  let d = planted () in
+  let r = Group_lasso.fit d ~lambda:4.0 in
+  (* Shared template: a basis is active in all states or none. *)
+  for j = 1 to d.Dataset.n_basis - 1 do
+    let col = Mat.col r.Group_lasso.coeffs j in
+    let nz = Array.fold_left (fun a v -> if v <> 0.0 then a + 1 else a) 0 col in
+    check_true "all-or-none" (nz = 0 || nz = Array.length col)
+  done;
+  check_true "found support"
+    (Array.exists (fun j -> j = 4) r.Group_lasso.active
+    && Array.exists (fun j -> j = 9) r.Group_lasso.active)
+
+let test_lambda_max_kills_all () =
+  let d = planted () in
+  let lmax = Group_lasso.lambda_max d in
+  let r = Group_lasso.fit d ~lambda:(1.2 *. lmax) in
+  (* Only the unpenalized intercept group may survive. *)
+  Array.iter (fun j -> check_int "only intercept" 0 j) r.Group_lasso.active;
+  let below = Group_lasso.fit d ~lambda:(0.5 *. lmax) in
+  check_true "groups activate below lmax"
+    (Array.exists (fun j -> j > 0) below.Group_lasso.active)
+
+let test_shrinkage_monotone () =
+  let d = planted () in
+  let norm_at lambda =
+    let r = Group_lasso.fit d ~lambda in
+    (* Exclude the unpenalized intercept column. *)
+    let acc = ref 0.0 in
+    for j = 1 to d.Dataset.n_basis - 1 do
+      acc := !acc +. Vec.norm2_sq (Mat.col r.Group_lasso.coeffs j)
+    done;
+    sqrt !acc
+  in
+  check_true "monotone shrinkage" (norm_at 8.0 < norm_at 1.0 +. 1e-9)
+
+let test_cv_generalizes () =
+  let d = planted ~n:15 () in
+  let test_data = planted ~n:60 ~seed:62 () in
+  let r, lambda = Group_lasso.fit_cv d ~n_folds:3 () in
+  check_true "lambda positive" (lambda > 0.0);
+  check_true "generalizes"
+    (Metrics.coeffs_error_pooled ~coeffs:r.Group_lasso.coeffs test_data < 0.1)
+
+let test_magnitude_freedom () =
+  (* Group lasso recovers per-state magnitudes (coefficients differ
+     across states within an active group). *)
+  let d = planted ~n:40 ~noise:0.005 () in
+  let r = Group_lasso.fit d ~lambda:0.5 in
+  let c0 = Mat.get r.Group_lasso.coeffs 0 4 and c4 = Mat.get r.Group_lasso.coeffs 4 4 in
+  check_true "state trend tracked" (c0 > c4 +. 0.2)
+
+let suite =
+  [ ( "model.group_lasso",
+      [ case "lambda 0 = OLS" test_zero_lambda_is_ols;
+        case "shared template (all-or-none)" test_group_sparsity_pattern;
+        case "lambda_max boundary" test_lambda_max_kills_all;
+        case "monotone shrinkage" test_shrinkage_monotone;
+        case "cv generalizes" test_cv_generalizes;
+        case "per-state magnitudes free" test_magnitude_freedom ] ) ]

@@ -1,0 +1,94 @@
+(* End-to-end integration: circuit → Monte-Carlo → datasets → both
+   fitters → held-out validation, on miniature budgets so the suite
+   stays fast.  Fixed seeds keep the assertions stable. *)
+
+open Cbmf_model
+open Cbmf_experiments
+open Helpers
+
+let lna_data =
+  lazy (Workload.generate (Workload.lna ()) ~seed:7 ~n_train_max:12 ~n_test_per_state:20)
+
+let mixer_data =
+  lazy
+    (Workload.generate (Workload.mixer ()) ~seed:7 ~n_train_max:12
+       ~n_test_per_state:20)
+
+let test_workload_shapes () =
+  let d = Lazy.force lna_data in
+  let train = Workload.train_dataset d ~poi:0 ~n_per_state:12 in
+  check_int "states" 32 train.Dataset.n_states;
+  check_int "samples" 12 train.Dataset.n_samples;
+  check_int "basis = dim + 1" 1265 train.Dataset.n_basis;
+  let test = Workload.test_dataset d ~poi:0 in
+  check_int "test samples" 20 test.Dataset.n_samples
+
+let test_lna_nf_end_to_end () =
+  let d = Lazy.force lna_data in
+  let train = Workload.train_dataset d ~poi:0 ~n_per_state:12 in
+  let test = Workload.test_dataset d ~poi:0 in
+  let model = Cbmf_core.Cbmf.fit ~config:Cbmf_core.Cbmf.fast_config train in
+  let err = Cbmf_core.Cbmf.test_error model test in
+  check_true (Printf.sprintf "NF error %.3f%% < 4%%" (100. *. err)) (err < 0.04)
+
+let test_lna_cbmf_vs_somp () =
+  let d = Lazy.force lna_data in
+  let train = Workload.train_dataset d ~poi:0 ~n_per_state:12 in
+  let test = Workload.test_dataset d ~poi:0 in
+  let model = Cbmf_core.Cbmf.fit ~config:Cbmf_core.Cbmf.fast_config train in
+  let somp, _ = Somp.fit_cv train ~n_folds:3 ~candidate_terms:[| 4; 8 |] in
+  let cbmf_err = Cbmf_core.Cbmf.test_error model test in
+  let somp_err = Metrics.coeffs_error_pooled ~coeffs:somp.Somp.coeffs test in
+  check_true
+    (Printf.sprintf "C-BMF %.3f%% <= S-OMP %.3f%% + slack" (100. *. cbmf_err)
+       (100. *. somp_err))
+    (cbmf_err <= somp_err *. 1.15)
+
+let test_mixer_vg_end_to_end () =
+  let d = Lazy.force mixer_data in
+  let train = Workload.train_dataset d ~poi:1 ~n_per_state:12 in
+  let test = Workload.test_dataset d ~poi:1 in
+  let model = Cbmf_core.Cbmf.fit ~config:Cbmf_core.Cbmf.fast_config train in
+  let err = Cbmf_core.Cbmf.test_error model test in
+  check_true (Printf.sprintf "VG error %.3f%% < 2%%" (100. *. err)) (err < 0.02)
+
+let test_sweep_point () =
+  let d = Lazy.force lna_data in
+  let s =
+    Sweep.run ~cbmf_config:Cbmf_core.Cbmf.fast_config
+      ~somp_terms:[| 4; 8 |] d ~poi:0 ~n_grid:[| 8; 12 |]
+  in
+  check_int "two points" 2 (Array.length s.Sweep.points);
+  let p0 = s.Sweep.points.(0) and p1 = s.Sweep.points.(1) in
+  check_int "total samples" (8 * 32) p0.Sweep.n_total;
+  check_true "errors recorded" (p0.Sweep.somp_error > 0.0 && p1.Sweep.cbmf_error > 0.0)
+
+let test_table_runner () =
+  let d = Lazy.force lna_data in
+  let t =
+    Tables.run ~cbmf_config:Cbmf_core.Cbmf.fast_config ~somp_n_per_state:12
+      ~cbmf_n_per_state:6 d
+  in
+  check_int "rows" 3 (Array.length t.Tables.rows);
+  check_int "somp samples" (12 * 32) t.Tables.somp_samples;
+  check_int "cbmf samples" (6 * 32) t.Tables.cbmf_samples;
+  check_true "sim cost halves+"
+    (t.Tables.cbmf_sim_hours < 0.6 *. t.Tables.somp_sim_hours);
+  check_true "cost reduction computed" (t.Tables.cost_reduction > 1.0)
+
+let test_simulation_cost_consistency () =
+  let d = Lazy.force lna_data in
+  let tb = d.Workload.workload.Workload.testbench in
+  let h1120 = Cbmf_circuit.Testbench.simulation_cost_hours tb ~n_samples:1120 in
+  let h480 = Cbmf_circuit.Testbench.simulation_cost_hours tb ~n_samples:480 in
+  check_true "paper ratio > 2x" (h1120 /. h480 > 2.0)
+
+let suite =
+  [ ( "integration",
+      [ case "workload shapes" test_workload_shapes;
+        slow_case "LNA NF end-to-end" test_lna_nf_end_to_end;
+        slow_case "LNA C-BMF vs S-OMP" test_lna_cbmf_vs_somp;
+        slow_case "mixer VG end-to-end" test_mixer_vg_end_to_end;
+        slow_case "sweep runner" test_sweep_point;
+        slow_case "table runner" test_table_runner;
+        case "cost consistency" test_simulation_cost_consistency ] ) ]

@@ -1,0 +1,95 @@
+open Cbmf_linalg
+open Cbmf_model
+open Helpers
+
+(* Single-state planted problem with intercept. *)
+let planted_single ?(n = 40) ?(m = 25) ?(noise = 0.02) ?(seed = 51) () =
+  let rng = Cbmf_prob.Rng.create seed in
+  let design =
+    Mat.init n m (fun _ j -> if j = 0 then 1.0 else Cbmf_prob.Rng.gaussian rng)
+  in
+  let truth = Vec.create m in
+  truth.(0) <- 2.0;
+  truth.(6) <- 1.5;
+  truth.(13) <- -0.8;
+  let response =
+    Array.init n (fun i ->
+        Vec.dot (Mat.row design i) truth +. (noise *. Cbmf_prob.Rng.gaussian rng))
+  in
+  (design, response, truth)
+
+let test_lasso_zero_lambda_is_ols () =
+  let design, response, _ = planted_single () in
+  let r = Lasso.fit_vec ~design ~response ~lambda:0.0 () in
+  let ols = Qr.lstsq design response in
+  check_true "converged" r.Lasso.converged;
+  vec_close ~tol:1e-5 "matches OLS" ols r.Lasso.coeffs
+
+let test_lasso_sparsifies () =
+  let design, response, _ = planted_single () in
+  let r = Lasso.fit_vec ~design ~response ~lambda:3.0 () in
+  let nonzero = Array.fold_left (fun a c -> if c <> 0.0 then a + 1 else a) 0 r.Lasso.coeffs in
+  check_true "sparse" (nonzero <= 6);
+  (* The planted support must survive. *)
+  check_true "signal kept" (r.Lasso.coeffs.(6) > 0.5 && r.Lasso.coeffs.(13) < -0.2)
+
+let test_lasso_intercept_unpenalized () =
+  let design, response, _ = planted_single () in
+  (* Even at λ beyond lambda_max the intercept survives. *)
+  let lmax = Lasso.lambda_max ~design ~response in
+  let r = Lasso.fit_vec ~design ~response ~lambda:(1.5 *. lmax) () in
+  check_true "intercept kept" (abs_float r.Lasso.coeffs.(0) > 1.0);
+  let others = Array.sub r.Lasso.coeffs 1 (Array.length r.Lasso.coeffs - 1) in
+  check_float "all penalized zero" 0.0 (Vec.norm1 others)
+
+let test_lambda_max_boundary () =
+  let design, response, _ = planted_single () in
+  let lmax = Lasso.lambda_max ~design ~response in
+  (* Slightly below lambda_max at least one coefficient activates. *)
+  let r = Lasso.fit_vec ~design ~response ~lambda:(0.8 *. lmax) () in
+  let others = Array.sub r.Lasso.coeffs 1 (Array.length r.Lasso.coeffs - 1) in
+  check_true "active below lmax" (Vec.norm1 others > 0.0)
+
+let test_lasso_kkt () =
+  (* KKT: for active β_j, x_jᵀ(y − Bβ) = λ·sign(β_j); for inactive,
+     |x_jᵀ(y − Bβ)| ≤ λ. *)
+  let design, response, _ = planted_single () in
+  let lambda = 1.0 in
+  let r = Lasso.fit_vec ~tol:1e-12 ~design ~response ~lambda () in
+  let resid = Vec.sub response (Mat.mat_vec design r.Lasso.coeffs) in
+  for j = 1 to design.Mat.cols - 1 do
+    let g = Vec.dot (Mat.col design j) resid in
+    if r.Lasso.coeffs.(j) <> 0.0 then
+      check_float ~tol:1e-6 "active KKT"
+        (lambda *. Float.of_int (compare r.Lasso.coeffs.(j) 0.0))
+        g
+    else check_true "inactive KKT" (abs_float g <= lambda +. 1e-6)
+  done
+
+let test_lasso_multistate_cv () =
+  let rng = Cbmf_prob.Rng.create 53 in
+  let k = 4 and n = 25 and m = 20 in
+  let design =
+    Array.init k (fun _ ->
+        Mat.init n m (fun _ j -> if j = 0 then 1.0 else Cbmf_prob.Rng.gaussian rng))
+  in
+  let response =
+    Array.init k (fun s ->
+        Array.init n (fun i ->
+            (2.0 *. Mat.get design.(s) i 3)
+            +. (0.5 *. float_of_int s)
+            +. (0.05 *. Cbmf_prob.Rng.gaussian rng)))
+  in
+  let d = Dataset.create ~design ~response in
+  let coeffs, lambda = Lasso.fit_cv d ~n_folds:3 () in
+  check_true "lambda positive" (lambda > 0.0);
+  check_true "generalizes" (Metrics.coeffs_error_pooled ~coeffs d < 0.1)
+
+let suite =
+  [ ( "model.lasso",
+      [ case "lambda 0 = OLS" test_lasso_zero_lambda_is_ols;
+        case "sparsifies" test_lasso_sparsifies;
+        case "intercept unpenalized" test_lasso_intercept_unpenalized;
+        case "lambda_max boundary" test_lambda_max_boundary;
+        case "KKT conditions" test_lasso_kkt;
+        case "multistate cv" test_lasso_multistate_cv ] ) ]

@@ -1,0 +1,137 @@
+open Cbmf_linalg
+open Helpers
+
+(* --- LU --- *)
+
+let test_lu_solve () =
+  let a = random_mat 7 7 in
+  let x = random_vec 7 in
+  let b = Mat.mat_vec a x in
+  vec_close ~tol:1e-7 "lu solve" x (Lu.solve a b)
+
+let test_lu_det () =
+  let d = Mat.diag (Vec.of_list [ 2.0; -3.0; 4.0 ]) in
+  check_float ~tol:1e-10 "det diag" (-24.0) (Lu.det (Lu.factorize d));
+  (* Permutation changes the sign correctly. *)
+  let p = Mat.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  check_float ~tol:1e-12 "det swap" (-1.0) (Lu.det (Lu.factorize p))
+
+let test_lu_inverse () =
+  let a = random_mat 5 5 in
+  let inv = Lu.inverse (Lu.factorize a) in
+  mat_close ~tol:1e-7 "a·a⁻¹" (Mat.identity 5) (Mat.matmul a inv)
+
+let test_lu_singular () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  match Lu.factorize a with
+  | _ -> Alcotest.fail "expected Singular"
+  | exception Lu.Singular _ -> ()
+
+let test_lu_pivoting () =
+  (* Zero on the initial pivot demands row exchange. *)
+  let a = Mat.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Lu.solve a (Vec.of_list [ 3.0; 5.0 |> Fun.id ]) in
+  vec_close "pivot solve" (Vec.of_list [ 5.0; 3.0 ]) x
+
+let test_rcond () =
+  check_true "well conditioned" (Lu.rcond_estimate (Mat.identity 4) > 0.5);
+  let near_sing = Mat.of_arrays [| [| 1.0; 1.0 |]; [| 1.0; 1.0 +. 1e-12 |] |] in
+  check_true "near singular" (Lu.rcond_estimate near_sing < 1e-10)
+
+(* --- QR --- *)
+
+let test_qr_reconstruct () =
+  let a = random_mat 8 5 in
+  let f = Qr.factorize a in
+  mat_close ~tol:1e-8 "q·r = a" a (Mat.matmul (Qr.q f) (Qr.r f))
+
+let test_qr_orthonormal () =
+  let a = random_mat 9 4 in
+  let q = Qr.q (Qr.factorize a) in
+  mat_close ~tol:1e-9 "qᵀq = I" (Mat.identity 4) (Mat.gram q)
+
+let test_qr_lstsq_exact () =
+  let a = random_mat 6 6 in
+  let x = random_vec 6 in
+  vec_close ~tol:1e-7 "square solve" x (Qr.lstsq a (Mat.mat_vec a x))
+
+let test_qr_lstsq_overdetermined () =
+  (* Residual of the LS solution must be orthogonal to the columns. *)
+  let a = random_mat 12 4 in
+  let b = random_vec 12 in
+  let x = Qr.lstsq a b in
+  let r = Vec.sub (Mat.mat_vec a x) b in
+  let proj = Mat.mat_tvec a r in
+  check_true "normal equations" (Vec.norm_inf proj < 1e-8)
+
+let test_qr_rank_deficient () =
+  let a = Mat.init 5 3 (fun i _ -> float_of_int i) in
+  (* All columns identical → rank 1. *)
+  match Qr.lstsq a (random_vec 5) with
+  | _ -> Alcotest.fail "expected Rank_deficient"
+  | exception Qr.Rank_deficient _ -> ()
+
+(* --- Eig --- *)
+
+let test_eig_diag () =
+  let d = Mat.diag (Vec.of_list [ 3.0; 1.0; 2.0 ]) in
+  let { Eig.values; _ } = Eig.symmetric d in
+  vec_close ~tol:1e-10 "sorted eigenvalues" (Vec.of_list [ 3.0; 2.0; 1.0 ]) values
+
+let test_eig_reconstruct () =
+  let a = random_spd 6 in
+  let { Eig.values; vectors } = Eig.symmetric a in
+  let scaled = Mat.init 6 6 (fun i j -> Mat.get vectors i j *. values.(j)) in
+  mat_close ~tol:1e-7 "v·diag(λ)·vᵀ = a" a (Mat.matmul_nt scaled vectors)
+
+let test_eig_orthogonal () =
+  let a = random_spd 5 in
+  let { Eig.vectors; _ } = Eig.symmetric a in
+  mat_close ~tol:1e-8 "vᵀv = I" (Mat.identity 5) (Mat.gram vectors)
+
+let test_eig_trace_sum () =
+  let a = random_spd 7 in
+  let values = Eig.eigenvalues a in
+  check_float ~tol:1e-7 "Σλ = trace" (Mat.trace a) (Vec.sum values)
+
+let test_condition () =
+  let d = Mat.diag (Vec.of_list [ 10.0; 1.0 ]) in
+  check_float ~tol:1e-8 "condition" 10.0 (Eig.condition_number d);
+  check_true "indefinite -> inf"
+    (Eig.condition_number (Mat.diag (Vec.of_list [ 1.0; -1.0 ])) = infinity)
+
+let test_pd_projection () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  let p = Eig.pd_projection a in
+  check_true "projection PD" (Chol.is_positive_definite p);
+  (* Already-PD input passes through (up to clipping tolerance). *)
+  let b = random_spd 4 in
+  mat_close ~tol:1e-7 "PD passthrough" b (Eig.pd_projection b)
+
+let prop_eig_pd_positive =
+  qcase ~count:30 "SPD eigenvalues positive"
+    QCheck2.Gen.(int_range 2 8)
+    (fun n -> Eig.min_eigenvalue (random_spd n) > 0.0)
+
+let suite =
+  [ ( "linalg.lu",
+      [ case "solve" test_lu_solve;
+        case "det" test_lu_det;
+        case "inverse" test_lu_inverse;
+        case "singular detection" test_lu_singular;
+        case "pivoting" test_lu_pivoting;
+        case "rcond" test_rcond ] );
+    ( "linalg.qr",
+      [ case "reconstruct" test_qr_reconstruct;
+        case "orthonormal q" test_qr_orthonormal;
+        case "exact solve" test_qr_lstsq_exact;
+        case "least squares orthogonality" test_qr_lstsq_overdetermined;
+        case "rank deficiency" test_qr_rank_deficient ] );
+    ( "linalg.eig",
+      [ case "diagonal" test_eig_diag;
+        case "reconstruct" test_eig_reconstruct;
+        case "orthogonal vectors" test_eig_orthogonal;
+        case "trace = sum" test_eig_trace_sum;
+        case "condition number" test_condition;
+        case "pd projection" test_pd_projection;
+        prop_eig_pd_positive ] ) ]

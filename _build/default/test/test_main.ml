@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "cbmf"
+    (List.concat
+       [ Test_vec.suite;
+         Test_mat.suite;
+         Test_chol.suite;
+         Test_lu_qr_eig.suite;
+         Test_complex.suite;
+         Test_prob.suite;
+         Test_basis.suite;
+         Test_circuit.suite;
+         Test_mna.suite;
+         Test_testbench.suite;
+         Test_model.suite;
+         Test_lasso.suite;
+         Test_group_lasso.suite;
+         Test_core.suite;
+         Test_cluster.suite;
+         Test_integration.suite ])

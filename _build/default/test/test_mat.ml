@@ -1,0 +1,131 @@
+open Cbmf_linalg
+open Helpers
+
+let test_identity () =
+  let i3 = Mat.identity 3 in
+  check_float "trace" 3.0 (Mat.trace i3);
+  check_true "symmetric" (Mat.is_symmetric i3);
+  let a = random_mat 3 3 in
+  mat_close "I·a = a" a (Mat.matmul i3 a);
+  mat_close "a·I = a" a (Mat.matmul a i3)
+
+let test_transpose () =
+  let a = random_mat 3 5 in
+  let at = Mat.transpose a in
+  check_int "rows" 5 (fst (Mat.dim at));
+  mat_close "involution" a (Mat.transpose at)
+
+let test_matmul_assoc () =
+  let a = random_mat 4 3 and b = random_mat 3 5 and c = random_mat 5 2 in
+  mat_close ~tol:1e-10 "(ab)c = a(bc)"
+    (Mat.matmul (Mat.matmul a b) c)
+    (Mat.matmul a (Mat.matmul b c))
+
+let test_matmul_variants () =
+  let a = random_mat 4 3 and b = random_mat 5 3 in
+  mat_close "matmul_nt = a·bᵀ" (Mat.matmul a (Mat.transpose b)) (Mat.matmul_nt a b);
+  let c = random_mat 4 5 in
+  mat_close "matmul_tn = aᵀ·c" (Mat.matmul (Mat.transpose a) c) (Mat.matmul_tn a c)
+
+let test_mat_vec () =
+  let a = random_mat 4 3 in
+  let x = random_vec 3 in
+  let expected = Array.init 4 (fun i -> Vec.dot (Mat.row a i) x) in
+  vec_close "mat_vec" expected (Mat.mat_vec a x);
+  let y = random_vec 4 in
+  vec_close "mat_tvec" (Mat.mat_vec (Mat.transpose a) y) (Mat.mat_tvec a y)
+
+let test_gram () =
+  let a = random_mat 6 3 in
+  let g = Mat.gram a in
+  check_true "gram symmetric" (Mat.is_symmetric ~tol:1e-10 g);
+  mat_close "gram = aᵀa" (Mat.matmul (Mat.transpose a) a) g
+
+let test_rows_cols () =
+  let a = Mat.init 3 4 (fun i j -> float_of_int ((10 * i) + j)) in
+  vec_close "row" (Vec.of_list [ 10.0; 11.0; 12.0; 13.0 ]) (Mat.row a 1);
+  vec_close "col" (Vec.of_list [ 2.0; 12.0; 22.0 ]) (Mat.col a 2);
+  Mat.set_row a 0 (Vec.of_list [ 1.0; 1.0; 1.0; 1.0 ]);
+  check_float "set_row" 1.0 (Mat.get a 0 3);
+  Mat.set_col a 1 (Vec.of_list [ 5.0; 5.0; 5.0 ]);
+  check_float "set_col" 5.0 (Mat.get a 2 1)
+
+let test_submatrix_select () =
+  let a = Mat.init 4 4 (fun i j -> float_of_int ((10 * i) + j)) in
+  let s = Mat.submatrix a ~row0:1 ~col0:2 ~rows:2 ~cols:2 in
+  check_float "sub[0,0]" 12.0 (Mat.get s 0 0);
+  check_float "sub[1,1]" 23.0 (Mat.get s 1 1);
+  let c = Mat.select_cols a [| 3; 0 |] in
+  check_float "select[0,0]" 3.0 (Mat.get c 0 0);
+  check_float "select[2,1]" 20.0 (Mat.get c 2 1)
+
+let test_outer_quadratic () =
+  let x = Vec.of_list [ 1.0; 2.0 ] and y = Vec.of_list [ 3.0; 4.0; 5.0 ] in
+  let o = Mat.outer x y in
+  check_float "outer" 8.0 (Mat.get o 1 1);
+  let a = random_spd 4 in
+  let v = random_vec 4 in
+  check_float ~tol:1e-10 "quadratic_form"
+    (Vec.dot v (Mat.mat_vec a v))
+    (Mat.quadratic_form a v)
+
+let test_add_outer_inplace () =
+  let a = Mat.create 2 2 in
+  let x = Vec.of_list [ 1.0; 2.0 ] in
+  Mat.add_outer_inplace a 2.0 x x;
+  check_float "outer inplace" 8.0 (Mat.get a 1 1);
+  check_float "outer inplace off-diag" 4.0 (Mat.get a 0 1)
+
+let test_diag_trace () =
+  let d = Mat.diag (Vec.of_list [ 1.0; 2.0; 3.0 ]) in
+  check_float "trace" 6.0 (Mat.trace d);
+  vec_close "diagonal" (Vec.of_list [ 1.0; 2.0; 3.0 ]) (Mat.diagonal d);
+  Mat.add_diag_inplace d 1.0;
+  check_float "add_diag" 2.0 (Mat.get d 0 0)
+
+let test_symmetrize () =
+  let a = Mat.of_arrays [| [| 1.0; 4.0 |]; [| 2.0; 1.0 |] |] in
+  Mat.symmetrize_inplace a;
+  check_float "sym" 3.0 (Mat.get a 0 1);
+  check_true "is_symmetric" (Mat.is_symmetric a)
+
+let test_norms () =
+  let a = Mat.of_arrays [| [| 1.0; -2.0 |]; [| 3.0; 4.0 |] |] in
+  check_float "norm_inf" 7.0 (Mat.norm_inf a);
+  check_float "max_abs" 4.0 (Mat.max_abs a);
+  check_float ~tol:1e-10 "frobenius" (sqrt 30.0) (Mat.frobenius a)
+
+let prop_transpose_matmul =
+  qcase ~count:50 "(ab)ᵀ = bᵀaᵀ"
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 1 8))
+    (fun (r, c) ->
+      let a = random_mat r c and b = random_mat c r in
+      Mat.approx_equal ~tol:1e-9
+        (Mat.transpose (Mat.matmul a b))
+        (Mat.matmul (Mat.transpose b) (Mat.transpose a)))
+
+let prop_trace_cyclic =
+  qcase ~count:50 "Tr(ab) = Tr(ba)"
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 1 8))
+    (fun (r, c) ->
+      let a = random_mat r c and b = random_mat c r in
+      abs_float (Mat.trace (Mat.matmul a b) -. Mat.trace (Mat.matmul b a))
+      <= 1e-8)
+
+let suite =
+  [ ( "linalg.mat",
+      [ case "identity" test_identity;
+        case "transpose" test_transpose;
+        case "matmul associativity" test_matmul_assoc;
+        case "matmul_nt/tn" test_matmul_variants;
+        case "mat_vec/mat_tvec" test_mat_vec;
+        case "gram" test_gram;
+        case "rows/cols" test_rows_cols;
+        case "submatrix/select_cols" test_submatrix_select;
+        case "outer/quadratic" test_outer_quadratic;
+        case "add_outer_inplace" test_add_outer_inplace;
+        case "diag/trace" test_diag_trace;
+        case "symmetrize" test_symmetrize;
+        case "norms" test_norms;
+        prop_transpose_matmul;
+        prop_trace_cyclic ] ) ]

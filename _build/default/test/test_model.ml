@@ -1,0 +1,288 @@
+open Cbmf_linalg
+open Cbmf_model
+open Helpers
+
+(* Small synthetic multi-state dataset with planted sparse truth. *)
+let planted ?(k = 6) ?(n = 30) ?(m = 40) ?(noise = 0.01) ?(seed = 5) () =
+  let rng = Cbmf_prob.Rng.create seed in
+  let support = [| 0; 7; 19 |] in
+  (* column 0 is constant *)
+  let coef s j =
+    match j with
+    | 0 -> 3.0
+    | 7 -> 1.0 +. (0.1 *. float_of_int s)
+    | 19 -> -0.5
+    | _ -> 0.0
+  in
+  ignore support;
+  let design =
+    Array.init k (fun _ ->
+        Mat.init n m (fun _ j -> if j = 0 then 1.0 else Cbmf_prob.Rng.gaussian rng))
+  in
+  let response =
+    Array.init k (fun s ->
+        Array.init n (fun i ->
+            let acc = ref (noise *. Cbmf_prob.Rng.gaussian rng) in
+            for j = 0 to m - 1 do
+              let c = coef s j in
+              if c <> 0.0 then acc := !acc +. (c *. Mat.get design.(s) i j)
+            done;
+            !acc))
+  in
+  Dataset.create ~design ~response
+
+(* --- Dataset --- *)
+
+let test_dataset_shapes () =
+  let d = planted () in
+  check_int "states" 6 d.Dataset.n_states;
+  check_int "samples" 30 d.Dataset.n_samples;
+  check_int "basis" 40 d.Dataset.n_basis;
+  check_int "total" 180 (Dataset.total_samples d)
+
+let test_dataset_truncate () =
+  let d = planted () in
+  let t = Dataset.truncate_samples d ~n:10 in
+  check_int "truncated" 10 t.Dataset.n_samples;
+  check_float "prefix" d.Dataset.response.(2).(3) t.Dataset.response.(2).(3)
+
+let test_dataset_fold_split () =
+  let d = planted ~n:10 () in
+  let train, test = Dataset.split_fold d ~n_folds:5 ~fold:0 in
+  check_int "train" 8 train.Dataset.n_samples;
+  check_int "test" 2 test.Dataset.n_samples;
+  (* Folds partition the rows: over all folds each row appears once. *)
+  let seen = Array.make 10 0 in
+  for fold = 0 to 4 do
+    let _, te = Dataset.split_fold d ~n_folds:5 ~fold in
+    for i = 0 to te.Dataset.n_samples - 1 do
+      (* identify original row by its response value *)
+      let y = te.Dataset.response.(0).(i) in
+      Array.iteri
+        (fun orig v -> if v = y then seen.(orig) <- seen.(orig) + 1)
+        d.Dataset.response.(0)
+    done
+  done;
+  Array.iter (fun c -> check_int "row covered once" 1 c) seen
+
+let test_dataset_select_rows () =
+  let d = planted ~n:5 () in
+  let sel = Dataset.select_rows d (Array.make 6 [| 4; 0 |]) in
+  check_int "rows" 2 sel.Dataset.n_samples;
+  check_float "reorder" d.Dataset.response.(1).(4) sel.Dataset.response.(1).(0)
+
+let test_dataset_mismatch_rejected () =
+  let d = planted ~n:5 () in
+  match
+    Dataset.create
+      ~design:d.Dataset.design
+      ~response:(Array.map (fun y -> Array.sub y 0 3) d.Dataset.response)
+  with
+  | _ -> Alcotest.fail "expected assert failure"
+  | exception Assert_failure _ -> ()
+
+(* --- Metrics --- *)
+
+let test_metrics_rmse () =
+  let p = Vec.of_list [ 1.0; 2.0 ] and a = Vec.of_list [ 1.0; 4.0 ] in
+  check_float ~tol:1e-12 "rmse" (sqrt 2.0) (Metrics.rmse ~predicted:p ~actual:a)
+
+let test_metrics_relative () =
+  let a = Vec.of_list [ 3.0; 4.0 ] in
+  check_float ~tol:1e-12 "relative zero" 0.0
+    (Metrics.relative_rms ~predicted:(Vec.copy a) ~actual:a);
+  check_float ~tol:1e-12 "relative" 1.0
+    (Metrics.relative_rms ~predicted:(Vec.create 2) ~actual:a);
+  check_float "percent" 12.5 (Metrics.percent 0.125)
+
+let test_metrics_pooled () =
+  let a1 = Vec.of_list [ 1.0; 0.0 ] and a2 = Vec.of_list [ 0.0; 2.0 ] in
+  let p1 = Vec.of_list [ 0.0; 0.0 ] and p2 = Vec.of_list [ 0.0; 2.0 ] in
+  (* pooled = sqrt(1/(1+4)) *)
+  check_float ~tol:1e-12 "pooled" (sqrt 0.2)
+    (Metrics.relative_rms_pooled [| (p1, a1); (p2, a2) |])
+
+let test_metrics_r2 () =
+  let a = Vec.of_list [ 1.0; 2.0; 3.0 ] in
+  check_float ~tol:1e-12 "perfect" 1.0 (Metrics.r_squared ~predicted:(Vec.copy a) ~actual:a);
+  check_float ~tol:1e-12 "mean model" 0.0
+    (Metrics.r_squared ~predicted:(Vec.make 3 2.0) ~actual:a)
+
+(* --- OLS --- *)
+
+let test_ols_recovers () =
+  let d = planted ~n:50 ~noise:0.0 () in
+  let coeffs = Ols.fit d in
+  check_float ~tol:1e-8 "exact recovery" 0.0 (Metrics.coeffs_error_pooled ~coeffs d);
+  check_float ~tol:1e-6 "known coefficient" 1.2 (Mat.get coeffs 2 7)
+
+let test_ols_on_support () =
+  let d = planted ~noise:0.0 () in
+  let coeffs = Ols.fit_on_support d ~support:[| 0; 7; 19 |] in
+  check_float ~tol:1e-8 "support recovery" 0.0 (Metrics.coeffs_error_pooled ~coeffs d);
+  check_float "off support zero" 0.0 (Mat.get coeffs 0 3)
+
+(* --- Ridge --- *)
+
+let test_ridge_shrinks () =
+  let d = planted () in
+  let small = Ridge.fit d ~lambda:1e-8 in
+  let large = Ridge.fit d ~lambda:1e4 in
+  check_true "shrinkage"
+    (Mat.frobenius large < 0.1 *. Mat.frobenius small)
+
+let test_ridge_dual_matches_primal () =
+  (* N > M exercises the primal branch, N < M the dual; both must agree
+     with the normal equations on a common instance. *)
+  let rng = Cbmf_prob.Rng.create 8 in
+  let design = Mat.init 10 10 (fun _ _ -> Cbmf_prob.Rng.gaussian rng) in
+  let response = Array.init 10 (fun _ -> Cbmf_prob.Rng.gaussian rng) in
+  let lambda = 0.37 in
+  let primal = Ridge.fit_vec ~design ~response ~lambda in
+  (* Dual path via a fat copy (add zero columns changes nothing). *)
+  let fat = Mat.init 10 20 (fun i j -> if j < 10 then Mat.get design i j else 0.0) in
+  let dual = Ridge.fit_vec ~design:fat ~response ~lambda in
+  vec_close ~tol:1e-8 "dual = primal on shared columns" primal (Array.sub dual 0 10)
+
+let test_ridge_cv () =
+  let d = planted ~noise:0.05 () in
+  let _, lambda = Ridge.fit_cv d ~lambdas:[| 1e-6; 1e-2; 1e2 |] ~n_folds:3 in
+  check_true "sane lambda" (lambda < 1e2)
+
+(* --- OMP --- *)
+
+let test_omp_exact_recovery () =
+  let d = planted ~noise:0.0 () in
+  let r =
+    Omp.fit ~design:d.Dataset.design.(0) ~response:d.Dataset.response.(0)
+      ~n_terms:3
+  in
+  let sorted = Array.copy r.Omp.support in
+  Array.sort compare sorted;
+  check_true "support found" (sorted = [| 0; 7; 19 |]);
+  check_float ~tol:1e-8 "coefficient" (-0.5) r.Omp.coeffs.(19)
+
+let test_omp_prediction () =
+  let d = planted ~noise:0.01 () in
+  let r =
+    Omp.fit ~design:d.Dataset.design.(1) ~response:d.Dataset.response.(1)
+      ~n_terms:3
+  in
+  let pred = Omp.predict r d.Dataset.design.(1) in
+  check_true "fit quality"
+    (Metrics.relative_rms ~predicted:pred ~actual:d.Dataset.response.(1) < 0.05)
+
+let test_omp_cv_selects_sparsity () =
+  let d = planted ~noise:0.02 ~n:40 () in
+  let _, chosen =
+    Omp.fit_cv ~design:d.Dataset.design.(0) ~response:d.Dataset.response.(0)
+      ~n_folds:4 ~candidate_terms:[| 1; 3; 10; 20 |]
+  in
+  check_true "neither extreme" (chosen >= 3 && chosen <= 10)
+
+(* --- S-OMP --- *)
+
+let test_somp_shared_support () =
+  let d = planted ~noise:0.01 () in
+  let r = Somp.fit d ~n_terms:3 in
+  let sorted = Array.copy r.Somp.support in
+  Array.sort compare sorted;
+  check_true "shared support" (sorted = [| 0; 7; 19 |])
+
+let test_somp_beats_per_state_at_small_n () =
+  (* With few samples per state, pooling the selection across states
+     finds the true support more reliably than per-state OMP. *)
+  let d = planted ~k:8 ~n:8 ~m:60 ~noise:0.05 ~seed:11 () in
+  let test_data = planted ~k:8 ~n:50 ~m:60 ~noise:0.05 ~seed:12 () in
+  let r = Somp.fit d ~n_terms:3 in
+  let somp_err = Metrics.coeffs_error_pooled ~coeffs:r.Somp.coeffs test_data in
+  let per_state_err =
+    let coeffs = Mat.create 8 60 in
+    for s = 0 to 7 do
+      let o =
+        Omp.fit ~design:d.Dataset.design.(s) ~response:d.Dataset.response.(s)
+          ~n_terms:3
+      in
+      Mat.set_row coeffs s o.Omp.coeffs
+    done;
+    Metrics.coeffs_error_pooled ~coeffs test_data
+  in
+  check_true "somp <= per-state omp" (somp_err <= per_state_err +. 1e-6)
+
+let test_somp_select_next_excludes () =
+  let d = planted ~noise:0.0 () in
+  let residual = Array.map Vec.copy d.Dataset.response in
+  let exclude = Array.make d.Dataset.n_basis false in
+  let first = Somp.select_next d ~residual ~exclude in
+  exclude.(first) <- true;
+  let second = Somp.select_next d ~residual ~exclude in
+  check_true "different" (first <> second)
+
+let test_somp_cv () =
+  let d = planted ~noise:0.02 ~n:20 () in
+  let r, chosen = Somp.fit_cv d ~n_folds:4 ~candidate_terms:[| 1; 3; 8 |] in
+  check_true "chosen sane" (chosen = 3 || chosen = 8);
+  check_true "support size" (Array.length r.Somp.support >= 3)
+
+(* --- Crossval --- *)
+
+let test_folds_partition () =
+  let folds = Crossval.interleaved_folds ~n:13 ~n_folds:4 in
+  check_int "count" 4 (Array.length folds);
+  let seen = Array.make 13 0 in
+  Array.iter
+    (fun (train, test) ->
+      check_int "sizes" 13 (Array.length train + Array.length test);
+      Array.iter (fun i -> seen.(i) <- seen.(i) + 1) test)
+    folds;
+  Array.iter (fun c -> check_int "each row tested once" 1 c) seen
+
+let test_select () =
+  let grid = [| 1.0; 2.0; 3.0 |] in
+  let best, score, all = Crossval.select ~grid ~score:(fun x -> abs_float (x -. 2.2)) in
+  check_float "winner" 2.0 best;
+  check_true "score" (score < 0.3);
+  check_int "all" 3 (Array.length all)
+
+let test_grid3 () =
+  let g = Crossval.grid3 [| 1; 2 |] [| 'a' |] [| true; false |] in
+  check_int "size" 4 (Array.length g)
+
+let test_log_grid () =
+  let g = Crossval.log_grid ~lo:1.0 ~hi:100.0 ~n:3 in
+  check_float ~tol:1e-9 "mid" 10.0 g.(1);
+  check_float ~tol:1e-9 "hi" 100.0 g.(2)
+
+let suite =
+  [ ( "model.dataset",
+      [ case "shapes" test_dataset_shapes;
+        case "truncate" test_dataset_truncate;
+        case "fold split partitions" test_dataset_fold_split;
+        case "select_rows" test_dataset_select_rows;
+        case "shape mismatch rejected" test_dataset_mismatch_rejected ] );
+    ( "model.metrics",
+      [ case "rmse" test_metrics_rmse;
+        case "relative" test_metrics_relative;
+        case "pooled" test_metrics_pooled;
+        case "r-squared" test_metrics_r2 ] );
+    ( "model.ols",
+      [ case "recovers planted model" test_ols_recovers;
+        case "fit on support" test_ols_on_support ] );
+    ( "model.ridge",
+      [ case "shrinkage" test_ridge_shrinks;
+        case "dual = primal" test_ridge_dual_matches_primal;
+        case "cv" test_ridge_cv ] );
+    ( "model.omp",
+      [ case "exact recovery" test_omp_exact_recovery;
+        case "prediction" test_omp_prediction;
+        case "cv sparsity" test_omp_cv_selects_sparsity ] );
+    ( "model.somp",
+      [ case "shared support" test_somp_shared_support;
+        case "beats per-state at small N" test_somp_beats_per_state_at_small_n;
+        case "select_next exclusion" test_somp_select_next_excludes;
+        case "cv" test_somp_cv ] );
+    ( "model.crossval",
+      [ case "fold partition" test_folds_partition;
+        case "select" test_select;
+        case "grid3" test_grid3;
+        case "log grid" test_log_grid ] ) ]

@@ -1,0 +1,207 @@
+open Cbmf_prob
+open Helpers
+
+(* --- Rng --- *)
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_true "same stream" (Rng.uint64 a = Rng.uint64 b)
+  done
+
+let test_copy_stream () =
+  let a = Rng.create 7 in
+  let _ = Rng.uint64 a in
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    check_true "copy equal" (Rng.float a = Rng.float b)
+  done
+
+let test_split_independent () =
+  let a = Rng.create 9 in
+  let child = Rng.split a in
+  (* Different seeds give different streams with overwhelming probability. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.uint64 a = Rng.uint64 child then incr same
+  done;
+  check_true "split diverges" (!same = 0)
+
+let test_float_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r in
+    check_true "in [0,1)" (x >= 0.0 && x < 1.0)
+  done
+
+let test_int_uniform () =
+  let r = Rng.create 5 in
+  let counts = Array.make 7 0 in
+  let n = 70_000 in
+  for _ = 1 to n do
+    let k = Rng.int r 7 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      (* Expected 10000; 5σ ≈ 480. *)
+      check_true "uniform cell" (abs (c - 10_000) < 500))
+    counts
+
+let test_gaussian_moments () =
+  let r = Rng.create 11 in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian r) in
+  check_true "mean ~ 0" (abs_float (Stats.mean xs) < 0.01);
+  check_true "var ~ 1" (abs_float (Stats.variance xs -. 1.0) < 0.02);
+  check_true "skew ~ 0" (abs_float (Stats.skewness xs) < 0.05);
+  check_true "kurtosis ~ 0" (abs_float (Stats.kurtosis_excess xs) < 0.1)
+
+let test_shuffle_permutation () =
+  let r = Rng.create 13 in
+  let p = Rng.permutation r 50 in
+  let seen = Array.make 50 false in
+  Array.iter (fun i -> seen.(i) <- true) p;
+  check_true "is permutation" (Array.for_all Fun.id seen)
+
+(* --- Gaussian distribution functions --- *)
+
+let test_erf_values () =
+  check_float ~tol:1e-6 "erf 0" 0.0 (Gaussian.erf 0.0);
+  check_float ~tol:2e-7 "erf 1" 0.8427007929 (Gaussian.erf 1.0);
+  check_float ~tol:2e-7 "erf -1" (-0.8427007929) (Gaussian.erf (-1.0));
+  check_float ~tol:1e-6 "erf 3" 0.9999779095 (Gaussian.erf 3.0)
+
+let test_cdf_values () =
+  check_float ~tol:1e-7 "cdf 0" 0.5 (Gaussian.cdf 0.0);
+  check_float ~tol:5e-6 "cdf 1.96" 0.9750021 (Gaussian.cdf 1.959964);
+  check_float ~tol:5e-6 "cdf -1.96" 0.0249979 (Gaussian.cdf (-1.959964));
+  check_float ~tol:1e-7 "mu/sigma shift" 0.5 (Gaussian.cdf ~mu:3.0 ~sigma:2.0 3.0)
+
+let test_quantile_roundtrip () =
+  List.iter
+    (fun p ->
+      check_float ~tol:1e-6 "cdf∘quantile" p (Gaussian.cdf (Gaussian.quantile p)))
+    [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let test_quantile_known () =
+  check_float ~tol:2e-5 "q(0.975)" 1.959964 (Gaussian.quantile 0.975);
+  check_float ~tol:1e-6 "q(0.5)" 0.0 (Gaussian.quantile 0.5);
+  check_raises_invalid "q(0)" (fun () -> Gaussian.quantile 0.0)
+
+let test_pdf () =
+  check_float ~tol:1e-10 "pdf peak" (1.0 /. sqrt (2.0 *. Float.pi)) (Gaussian.pdf 0.0);
+  check_float ~tol:1e-10 "log_pdf consistent" (log (Gaussian.pdf 1.3))
+    (Gaussian.log_pdf 1.3)
+
+(* --- Mvn --- *)
+
+let test_mvn_moments () =
+  let open Cbmf_linalg in
+  let cov = Mat.of_arrays [| [| 2.0; 0.8 |]; [| 0.8; 1.0 |] |] in
+  let d = Mvn.create ~mu:(Vec.of_list [ 1.0; -2.0 ]) ~cov in
+  let r = Rng.create 17 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Mvn.sample d r) in
+  let col j = Array.map (fun v -> v.(j)) xs in
+  check_true "mean0" (abs_float (Stats.mean (col 0) -. 1.0) < 0.05);
+  check_true "mean1" (abs_float (Stats.mean (col 1) +. 2.0) < 0.05);
+  check_true "var0" (abs_float (Stats.variance (col 0) -. 2.0) < 0.1);
+  check_true "cov01" (abs_float (Stats.covariance (col 0) (col 1) -. 0.8) < 0.05)
+
+let test_mvn_logpdf () =
+  (* Standard normal: log pdf at 0 = −(n/2)·log(2π). *)
+  let d = Mvn.standard 3 in
+  check_float ~tol:1e-9 "logpdf origin"
+    (-1.5 *. log (2.0 *. Float.pi))
+    (Mvn.log_pdf d (Cbmf_linalg.Vec.create 3))
+
+let test_mvn_conditional () =
+  let open Cbmf_linalg in
+  let cov = Mat.of_arrays [| [| 1.0; 0.9 |]; [| 0.9; 1.0 |] |] in
+  let d = Mvn.create ~mu:(Vec.create 2) ~cov in
+  let c = Mvn.conditional d ~indices:[| 1 |] ~values:(Vec.of_list [ 2.0 ]) in
+  check_int "dim" 1 (Mvn.dim c);
+  check_float ~tol:1e-9 "cond mean" 1.8 (Mvn.mean c).(0);
+  check_float ~tol:1e-9 "cond var" 0.19 (Mat.get (Mvn.covariance c) 0 0)
+
+(* --- Lhs --- *)
+
+let test_lhs_stratified () =
+  let r = Rng.create 23 in
+  let m = Lhs.uniform r ~n:16 ~dim:3 in
+  (* Each column must hit every stratum exactly once. *)
+  for j = 0 to 2 do
+    let seen = Array.make 16 false in
+    for i = 0 to 15 do
+      let s = int_of_float (Cbmf_linalg.Mat.get m i j *. 16.0) in
+      check_true "stratum bounds" (s >= 0 && s < 16);
+      check_true "stratum unique" (not seen.(s));
+      seen.(s) <- true
+    done
+  done
+
+let test_lhs_gaussian_moments () =
+  let r = Rng.create 29 in
+  let m = Lhs.gaussian r ~n:2000 ~dim:2 in
+  let col = Cbmf_linalg.Mat.col m 0 in
+  check_true "lhs mean" (abs_float (Stats.mean col) < 0.05);
+  check_true "lhs var" (abs_float (Stats.variance col -. 1.0) < 0.05)
+
+(* --- Stats --- *)
+
+let test_stats_basics () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "mean" 5.0 (Stats.mean xs);
+  check_float ~tol:1e-9 "variance" (32.0 /. 7.0) (Stats.variance xs);
+  check_float "median" 4.5 (Stats.median xs);
+  check_float "min" 2.0 (Stats.minimum xs);
+  check_float "max" 9.0 (Stats.maximum xs)
+
+let test_quantile_interp () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "q0" 1.0 (Stats.quantile xs 0.0);
+  check_float "q1" 4.0 (Stats.quantile xs 1.0);
+  check_float ~tol:1e-12 "q0.5" 2.5 (Stats.quantile xs 0.5)
+
+let test_pearson () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  check_float ~tol:1e-12 "perfect corr" 1.0 (Stats.pearson xs ys);
+  let zs = Array.map (fun x -> -.x) xs in
+  check_float ~tol:1e-12 "anti corr" (-1.0) (Stats.pearson xs zs);
+  check_float "const corr" 0.0 (Stats.pearson xs (Array.make 4 1.0))
+
+let test_histogram () =
+  let xs = [| 0.0; 0.1; 0.2; 0.9; 1.0 |] in
+  let h = Stats.histogram ~bins:2 xs in
+  check_int "bins" 2 (Array.length h);
+  check_int "counts total" 5 (Array.fold_left (fun a (_, c) -> a + c) 0 h)
+
+let suite =
+  [ ( "prob.rng",
+      [ case "determinism" test_determinism;
+        case "copy" test_copy_stream;
+        case "split" test_split_independent;
+        case "float range" test_float_range;
+        slow_case "int uniformity" test_int_uniform;
+        slow_case "gaussian moments" test_gaussian_moments;
+        case "permutation" test_shuffle_permutation ] );
+    ( "prob.gaussian",
+      [ case "erf values" test_erf_values;
+        case "cdf values" test_cdf_values;
+        case "quantile roundtrip" test_quantile_roundtrip;
+        case "quantile known values" test_quantile_known;
+        case "pdf" test_pdf ] );
+    ( "prob.mvn",
+      [ slow_case "sample moments" test_mvn_moments;
+        case "log_pdf" test_mvn_logpdf;
+        case "conditional" test_mvn_conditional ] );
+    ( "prob.lhs",
+      [ case "stratification" test_lhs_stratified;
+        case "gaussian moments" test_lhs_gaussian_moments ] );
+    ( "prob.stats",
+      [ case "basics" test_stats_basics;
+        case "quantile interpolation" test_quantile_interp;
+        case "pearson" test_pearson;
+        case "histogram" test_histogram ] ) ]

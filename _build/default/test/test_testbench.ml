@@ -1,0 +1,216 @@
+open Cbmf_circuit
+open Helpers
+
+let lna = lazy (Lna.create ())
+
+let mixer = lazy (Mixer.create ())
+
+let zeros tb = Array.make (Testbench.dim tb) 0.0
+
+(* --- LNA --- *)
+
+let test_lna_dimensions () =
+  let tb = Lazy.force lna in
+  check_int "1264 variables" 1264 (Testbench.dim tb);
+  check_int "paper constant" 1264 Lna.n_process_variables;
+  check_int "32 states" 32 (Testbench.n_states tb);
+  check_int "3 PoIs" 3 (Testbench.n_pois tb);
+  check_int "NF index" 0 (Testbench.poi_index tb "NF");
+  check_int "IIP3 index" 2 (Testbench.poi_index tb "IIP3")
+
+let test_lna_nominal_sanity () =
+  let tb = Lazy.force lna in
+  let pois = tb.Testbench.evaluate ~state:16 (zeros tb) in
+  let nf = pois.(0) and vg = pois.(1) and iip3 = pois.(2) in
+  check_true "NF positive" (nf > 0.0 && nf < 6.0);
+  check_true "gain sensible" (vg > 15.0 && vg < 45.0);
+  check_true "IIP3 sensible" (iip3 > -30.0 && iip3 < 20.0)
+
+let test_lna_deterministic () =
+  let tb = Lazy.force lna in
+  let rng = Cbmf_prob.Rng.create 99 in
+  let x = Process.sample tb.Testbench.process rng in
+  let a = tb.Testbench.evaluate ~state:5 x in
+  let b = tb.Testbench.evaluate ~state:5 x in
+  check_true "deterministic" (a = b)
+
+let test_lna_knob_monotonicity () =
+  (* More bias current → more gm → lower NF and higher gain. *)
+  let tb = Lazy.force lna in
+  let x = zeros tb in
+  let prev_nf = ref infinity and prev_vg = ref neg_infinity in
+  for state = 0 to 31 do
+    let p = tb.Testbench.evaluate ~state x in
+    check_true "NF decreases" (p.(0) < !prev_nf);
+    check_true "VG increases" (p.(1) > !prev_vg);
+    prev_nf := p.(0);
+    prev_vg := p.(1)
+  done
+
+let test_lna_smooth_in_knob () =
+  (* Adjacent states differ by a small step: smoothness is the physical
+     basis of the C-BMF correlation assumption. *)
+  let tb = Lazy.force lna in
+  let rng = Cbmf_prob.Rng.create 4 in
+  let x = Process.sample tb.Testbench.process rng in
+  for state = 0 to 30 do
+    let a = tb.Testbench.evaluate ~state x in
+    let b = tb.Testbench.evaluate ~state:(state + 1) x in
+    check_true "NF smooth" (abs_float (a.(0) -. b.(0)) < 0.1);
+    check_true "VG smooth" (abs_float (a.(1) -. b.(1)) < 0.5)
+  done
+
+let test_lna_vth_sensitivity () =
+  (* Global Vth shift changes the mirrored current hence NF. *)
+  let tb = Lazy.force lna in
+  let x = zeros tb in
+  let base = (tb.Testbench.evaluate ~state:10 x).(0) in
+  let x2 = zeros tb in
+  x2.(5) <- 2.0;
+  (* g:drsheet perturbs the bias reference *)
+  let shifted = (tb.Testbench.evaluate ~state:10 x2).(0) in
+  check_true "rsheet affects NF" (abs_float (base -. shifted) > 1e-4)
+
+let test_lna_internals () =
+  let tb = Lazy.force lna in
+  let r = Lna.evaluate_internals tb ~state:0 (zeros tb) in
+  check_float ~tol:1e-9 "bias = knob" 2.5e-3 r.Lna.bias_current;
+  check_true "gm1 positive" (r.Lna.gm1 > 0.0);
+  let r31 = Lna.evaluate_internals tb ~state:31 (zeros tb) in
+  check_float ~tol:1e-9 "top bias" 10e-3 r31.Lna.bias_current
+
+let test_lna_periphery_weak () =
+  (* A single decap device's mismatch must have a tiny (but defined)
+     effect compared with the input device's. *)
+  let tb = Lazy.force lna in
+  let x = zeros tb in
+  let base = (tb.Testbench.evaluate ~state:10 x).(1) in
+  let x_m1 = zeros tb in
+  x_m1.(8) <- 3.0;
+  (* M1 dvth *)
+  let x_cap = zeros tb in
+  x_cap.(8 + (4 * 200)) <- 3.0;
+  (* some decap device's dvth *)
+  let d_m1 = abs_float ((tb.Testbench.evaluate ~state:10 x_m1).(1) -. base) in
+  let d_cap = abs_float ((tb.Testbench.evaluate ~state:10 x_cap).(1) -. base) in
+  check_true "M1 dominates" (d_m1 > 100.0 *. Float.max d_cap 1e-12)
+
+(* --- Mixer --- *)
+
+let test_mixer_dimensions () =
+  let tb = Lazy.force mixer in
+  check_int "1303 variables" 1303 (Testbench.dim tb);
+  check_int "paper constant" 1303 Mixer.n_process_variables;
+  check_int "32 states" 32 (Testbench.n_states tb);
+  check_int "I1dBCP index" 2 (Testbench.poi_index tb "I1dBCP")
+
+let test_mixer_nominal_sanity () =
+  let tb = Lazy.force mixer in
+  let p = tb.Testbench.evaluate ~state:16 (zeros tb) in
+  check_true "NF" (p.(0) > 3.0 && p.(0) < 20.0);
+  check_true "VG" (p.(1) > 5.0 && p.(1) < 35.0);
+  check_true "I1dB" (p.(2) > -40.0 && p.(2) < 0.0)
+
+let test_mixer_knob_direction () =
+  (* Larger load resistor: more gain, lower input 1 dB point. *)
+  let tb = Lazy.force mixer in
+  let x = zeros tb in
+  let lo = tb.Testbench.evaluate ~state:0 x in
+  let hi = tb.Testbench.evaluate ~state:31 x in
+  check_true "gain up with RL" (hi.(1) > lo.(1) +. 3.0);
+  check_true "I1dB down with RL" (hi.(2) < lo.(2));
+  check_true "NF down with RL" (hi.(0) < lo.(0))
+
+let test_mixer_load_mismatch () =
+  let tb = Lazy.force mixer in
+  let x = zeros tb in
+  let base = Mixer.evaluate_internals tb ~state:8 x in
+  let x2 = zeros tb in
+  (* First resistor variable = RL1 mismatch. *)
+  x2.(Testbench.dim tb - 11) <- 2.0;
+  let pert = Mixer.evaluate_internals tb ~state:8 x2 in
+  check_true "load shifts" (pert.Mixer.load_ohms > base.Mixer.load_ohms)
+
+let test_mixer_smooth_in_knob () =
+  let tb = Lazy.force mixer in
+  let rng = Cbmf_prob.Rng.create 31 in
+  let x = Process.sample tb.Testbench.process rng in
+  for state = 0 to 30 do
+    let a = tb.Testbench.evaluate ~state x in
+    let b = tb.Testbench.evaluate ~state:(state + 1) x in
+    check_true "VG smooth" (abs_float (a.(1) -. b.(1)) < 1.0)
+  done
+
+let test_mixer_internals () =
+  let tb = Lazy.force mixer in
+  let r = Mixer.evaluate_internals tb ~state:0 (zeros tb) in
+  check_float ~tol:1e-9 "nominal tail" 4e-3 r.Mixer.tail_current;
+  check_float ~tol:1e-9 "nominal load" 300.0 r.Mixer.load_ohms;
+  check_true "conversion gain linear > 1" (r.Mixer.conversion_gain > 1.0)
+
+(* --- Cost model + Monte Carlo --- *)
+
+let test_cost_model () =
+  let tb = Lazy.force lna in
+  (* Calibrated so 1120 samples = 2.72 h, as in Table 1. *)
+  check_float ~tol:1e-9 "LNA table cost" 2.72
+    (Testbench.simulation_cost_hours tb ~n_samples:1120);
+  let tbm = Lazy.force mixer in
+  check_float ~tol:1e-9 "mixer table cost" 17.20
+    (Testbench.simulation_cost_hours tbm ~n_samples:1120)
+
+let test_montecarlo_shapes () =
+  let tb = Lazy.force lna in
+  let rng = Cbmf_prob.Rng.create 2 in
+  let mc = Montecarlo.generate tb rng ~n_per_state:4 in
+  check_int "total" (4 * 32) (Montecarlo.total_samples mc);
+  let open Cbmf_linalg in
+  check_int "xs rows" 4 mc.Montecarlo.states.(0).Montecarlo.xs.Mat.rows;
+  check_int "xs cols" 1264 mc.Montecarlo.states.(0).Montecarlo.xs.Mat.cols;
+  check_int "ys cols" 3 mc.Montecarlo.states.(0).Montecarlo.ys.Mat.cols;
+  let y = Montecarlo.poi_column mc ~state:3 ~poi:1 in
+  check_int "poi col" 4 (Array.length y)
+
+let test_montecarlo_truncate () =
+  let tb = Lazy.force lna in
+  let rng = Cbmf_prob.Rng.create 2 in
+  let mc = Montecarlo.generate tb rng ~n_per_state:5 in
+  let cut = Montecarlo.truncate mc ~n:2 in
+  check_int "truncated" (2 * 32) (Montecarlo.total_samples cut);
+  (* Prefix property: the first rows are identical. *)
+  let open Cbmf_linalg in
+  check_float "prefix"
+    (Mat.get mc.Montecarlo.states.(7).Montecarlo.ys 1 0)
+    (Mat.get cut.Montecarlo.states.(7).Montecarlo.ys 1 0)
+
+let test_montecarlo_shared () =
+  let tb = Lazy.force lna in
+  let rng = Cbmf_prob.Rng.create 3 in
+  let mc = Montecarlo.generate ~shared_samples:true tb rng ~n_per_state:2 in
+  let open Cbmf_linalg in
+  check_float "same x across states"
+    (Mat.get mc.Montecarlo.states.(0).Montecarlo.xs 0 17)
+    (Mat.get mc.Montecarlo.states.(9).Montecarlo.xs 0 17)
+
+let suite =
+  [ ( "circuit.lna",
+      [ case "dimensions" test_lna_dimensions;
+        case "nominal sanity" test_lna_nominal_sanity;
+        case "deterministic" test_lna_deterministic;
+        case "knob monotonicity" test_lna_knob_monotonicity;
+        case "knob smoothness" test_lna_smooth_in_knob;
+        case "process sensitivity" test_lna_vth_sensitivity;
+        case "internals" test_lna_internals;
+        case "periphery is weak" test_lna_periphery_weak ] );
+    ( "circuit.mixer",
+      [ case "dimensions" test_mixer_dimensions;
+        case "nominal sanity" test_mixer_nominal_sanity;
+        case "knob directions" test_mixer_knob_direction;
+        case "load mismatch" test_mixer_load_mismatch;
+        case "knob smoothness" test_mixer_smooth_in_knob;
+        case "internals" test_mixer_internals ] );
+    ( "circuit.montecarlo",
+      [ case "cost model" test_cost_model;
+        case "shapes" test_montecarlo_shapes;
+        case "truncate prefix" test_montecarlo_truncate;
+        case "shared samples" test_montecarlo_shared ] ) ]
