@@ -7,7 +7,7 @@
    instance so Bechamel can afford many repetitions; the harness above
    reports the true paper-scale fitting costs).
 
-   Usage: main.exe [tab1] [tab2] [fig2] [fig3] [ablation] [micro] [quick|full]
+   Usage: main.exe [tab1] [tab2] [fig2] [fig3] [ablation] [micro] [par] [quick|full]
    With no arguments everything runs at paper scale with a 4-point
    sample-budget grid for the figures; [full] uses the paper's 6-point
    grid, [quick] reduced (non-paper) settings. *)
@@ -63,6 +63,50 @@ let run_ablation () =
       let a = Ablation.run data ~poi:0 ~n_per_state:15 in
       Format.fprintf fmt "%a@.@." Ablation.pp a)
     [ "lna"; "mixer" ]
+
+(* --- Domain-parallel EM fit ---------------------------------------- *)
+
+let run_par ~quick =
+  section "par (domain-parallel EM fit: 1 vs 4 domains, LNA workload)";
+  let module Pool = Cbmf_parallel.Pool in
+  let data = data_for "lna" in
+  let train = Workload.train_dataset data ~poi:0 ~n_per_state:15 in
+  let config = cbmf_config ~quick in
+  let time_fit domains =
+    Pool.set_default_size domains;
+    ignore (Cbmf_core.Cbmf.fit ~config train);
+    (* warm *)
+    let t0 = Unix.gettimeofday () in
+    ignore (Cbmf_core.Cbmf.fit ~config train);
+    Unix.gettimeofday () -. t0
+  in
+  let domains_par = 4 in
+  let seconds_base = time_fit 1 in
+  let seconds_par = time_fit domains_par in
+  Pool.set_default_size (Pool.env_domains ());
+  let speedup = seconds_base /. seconds_par in
+  Format.fprintf fmt "  EM fit, 1 domain:  %8.3f s@." seconds_base;
+  Format.fprintf fmt "  EM fit, %d domains: %8.3f s@." domains_par seconds_par;
+  Format.fprintf fmt "  speedup: %.2fx  (recommended_domain_count = %d)@."
+    speedup
+    (Domain.recommended_domain_count ());
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"lna\",\n\
+    \  \"kernel\": \"em-fit\",\n\
+    \  \"n_per_state\": 15,\n\
+    \  \"domains_base\": 1,\n\
+    \  \"domains_par\": %d,\n\
+    \  \"seconds_base\": %.6f,\n\
+    \  \"seconds_par\": %.6f,\n\
+    \  \"speedup\": %.4f,\n\
+    \  \"recommended_domain_count\": %d\n\
+     }\n"
+    domains_par seconds_base seconds_par speedup
+    (Domain.recommended_domain_count ());
+  close_out oc;
+  Format.fprintf fmt "  [wrote BENCH_parallel.json]@."
 
 (* --- Bechamel micro-benchmarks ------------------------------------- *)
 
@@ -162,5 +206,6 @@ let () =
   if want "fig3" then run_figure ~quick ~full "fig3" "mixer";
   if want "ablation" then run_ablation ();
   if want "micro" then micro ();
+  if want "par" then run_par ~quick;
   Format.fprintf fmt "@.[bench complete in %.1f s wall clock]@."
     (Unix.gettimeofday () -. t0)

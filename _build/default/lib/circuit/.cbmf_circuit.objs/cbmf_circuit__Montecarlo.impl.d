@@ -1,1 +1,1 @@
-lib/circuit/montecarlo.ml: Array Cbmf_linalg Cbmf_prob Lhs Mat Rng Testbench
+lib/circuit/montecarlo.ml: Array Cbmf_linalg Cbmf_parallel Cbmf_prob Lhs Mat Rng Testbench

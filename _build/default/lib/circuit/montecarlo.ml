@@ -28,19 +28,45 @@ let generate ?(shared_samples = false) ?(lhs = false) tb rng ~n_per_state =
   assert (n_per_state > 0);
   let dim = Testbench.dim tb in
   let k = Testbench.n_states tb in
-  let shared =
-    if shared_samples then Some (draw_points ~lhs rng ~n:n_per_state ~dim)
-    else None
+  let n = n_per_state in
+  (* One draw from the caller's stream keys the whole dataset: every
+     per-state / per-sample RNG below derives from (base, index), so
+     generation order — and hence the domain count — cannot change the
+     result, while successive [generate] calls on one rng still see
+     fresh data. *)
+  let base = Rng.seed_of rng in
+  let pool = Cbmf_parallel.Pool.default () in
+  let draw_xs ~stream =
+    if lhs then
+      (* LHS strata are coupled along the sample axis, so the whole
+         matrix is one stream. *)
+      Lhs.gaussian (Rng.derive base ~index:stream) ~n ~dim
+    else begin
+      (* Row i of [xs] comes from its own stream (base, stream·n + i). *)
+      let xs = Mat.create n dim in
+      Cbmf_parallel.Pool.parallel_for pool ~n (fun i ->
+          let r = Rng.derive base ~index:((stream * n) + i) in
+          for j = 0 to dim - 1 do
+            Mat.set xs i j (Rng.gaussian r)
+          done);
+      xs
+    end
   in
-  let states =
-    Array.init k (fun state ->
-        let xs =
-          match shared with
-          | Some m -> Mat.copy m
-          | None -> draw_points ~lhs rng ~n:n_per_state ~dim
-        in
-        run_state tb ~state xs)
+  let xs_all =
+    if shared_samples then begin
+      let shared = draw_xs ~stream:0 in
+      Array.init k (fun s -> if s = 0 then shared else Mat.copy shared)
+    end
+    else Array.init k (fun s -> draw_xs ~stream:s)
   in
+  let p = Testbench.n_pois tb in
+  let ys_all = Array.init k (fun _ -> Mat.create n p) in
+  Cbmf_parallel.Pool.parallel_for pool ~n:(k * n) (fun idx ->
+      let s = idx / n and i = idx mod n in
+      let pois = tb.Testbench.evaluate ~state:s (Mat.row xs_all.(s) i) in
+      assert (Array.length pois = p);
+      Mat.set_row ys_all.(s) i pois);
+  let states = Array.init k (fun s -> { xs = xs_all.(s); ys = ys_all.(s) }) in
   { testbench = tb; states; n_per_state }
 
 let total_samples mc = Array.length mc.states * mc.n_per_state

@@ -1,1 +1,1 @@
-lib/core/em.mli: Cbmf_linalg Cbmf_model Dataset Posterior Prior
+lib/core/em.mli: Cbmf_linalg Cbmf_model Dataset Posterior Prior Vec

@@ -1,1 +1,1 @@
-lib/core/init.ml: Array Cbmf_linalg Cbmf_model Chol Dataset List Mat Metrics Prior Somp Stdlib Vec
+lib/core/init.ml: Array Cbmf_linalg Cbmf_model Cbmf_parallel Chol Dataset List Mat Metrics Prior Somp Stdlib Vec

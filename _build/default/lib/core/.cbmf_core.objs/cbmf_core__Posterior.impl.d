@@ -1,1 +1,1 @@
-lib/core/posterior.ml: Array Cbmf_linalg Cbmf_model Chol Dataset Float Mat Prior Vec
+lib/core/posterior.ml: Array Cbmf_linalg Cbmf_model Cbmf_parallel Chol Dataset Float Mat Prior Vec

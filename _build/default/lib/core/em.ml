@@ -49,8 +49,16 @@ let prune cfg ~iter (lambda : Vec.t) =
   let kept = Array.of_list !keep in
   if Array.length kept >= cfg.min_active then kept
   else begin
+    (* Top-λ fallback (hit e.g. when every λ is zero, so nothing clears
+       the relative floor).  Array.sort is not stable, so ties must be
+       broken explicitly — by column index — or the kept set would
+       depend on the sort's internal order. *)
     let order = Array.init m (fun i -> i) in
-    Array.sort (fun i j -> compare lambda.(j) lambda.(i)) order;
+    Array.sort
+      (fun i j ->
+        let c = compare lambda.(j) lambda.(i) in
+        if c <> 0 then c else compare i j)
+      order;
     let top = Array.sub order 0 (Stdlib.min cfg.min_active m) in
     Array.sort compare top;
     top

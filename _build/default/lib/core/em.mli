@@ -42,6 +42,12 @@ type config = {
 
 val default_config : config
 
+val prune : config -> iter:int -> Vec.t -> int array
+(** Active set for the next E-step: columns with λ above the relative
+    floor, falling back deterministically (largest λ first, ties broken
+    by column index) to the top [min_active] columns when pruning would
+    leave too few — e.g. when every λ is zero.  Exposed for tests. *)
+
 type trace = {
   iterations : int;
   nlml_history : float array;  (** one value per E-step, in order *)

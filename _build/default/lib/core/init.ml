@@ -125,27 +125,41 @@ let greedy_pass ~(train : Dataset.t) ~test ~r0 ~sigma0 ~theta_max =
 let run ?(config = default_config) (d : Dataset.t) =
   assert (Array.length config.r0_grid > 0);
   assert (Array.length config.sigma0_grid > 0);
+  let pool = Cbmf_parallel.Pool.default () in
   let best = ref None in
   Array.iter
     (fun r0 ->
       Array.iter
         (fun sigma0 ->
-          (* Accumulate CV error per θ over the folds. *)
+          (* Algorithm 1 steps 1–17: the folds are independent greedy
+             passes, fanned out across domains; accumulating the
+             returned error curves sequentially in fold order keeps the
+             result identical to the sequential loop. *)
+          let fold_errs =
+            Cbmf_parallel.Pool.map ~chunk:1 pool ~n:config.n_folds
+              (fun fold ->
+                let train, test =
+                  Dataset.split_fold d ~n_folds:config.n_folds ~fold
+                in
+                let _, errs =
+                  greedy_pass ~train ~test:(Some test) ~r0 ~sigma0
+                    ~theta_max:config.theta_max
+                in
+                errs)
+          in
           let acc = ref [||] in
           let n_err = ref max_int in
-          for fold = 0 to config.n_folds - 1 do
-            let train, test = Dataset.split_fold d ~n_folds:config.n_folds ~fold in
-            let _, errs =
-              greedy_pass ~train ~test:(Some test) ~r0 ~sigma0
-                ~theta_max:config.theta_max
-            in
-            n_err := Stdlib.min !n_err (Array.length errs);
-            if fold = 0 then acc := Array.copy errs
-            else
-              for i = 0 to Stdlib.min (Array.length !acc) (Array.length errs) - 1 do
-                !acc.(i) <- !acc.(i) +. errs.(i)
-              done
-          done;
+          Array.iteri
+            (fun fold errs ->
+              n_err := Stdlib.min !n_err (Array.length errs);
+              if fold = 0 then acc := Array.copy errs
+              else
+                for i = 0
+                     to Stdlib.min (Array.length !acc) (Array.length errs) - 1
+                do
+                  !acc.(i) <- !acc.(i) +. errs.(i)
+                done)
+            fold_errs;
           let n_err = Stdlib.min !n_err (Array.length !acc) in
           for theta_i = 0 to n_err - 1 do
             let e = !acc.(theta_i) /. float_of_int config.n_folds in

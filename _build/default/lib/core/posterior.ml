@@ -1,6 +1,22 @@
 open Cbmf_linalg
 open Cbmf_model
 
+(* Upper-triangular state pairs (k1 ≤ k2), row-major.  Each pair owns
+   the (k1,k2) and mirror (k2,k1) blocks of every NK×NK or K×K object
+   below, so the pair loops parallelize with disjoint writes — the
+   fan-out is bit-identical to the sequential loop at any domain
+   count. *)
+let upper_pairs k =
+  let pairs = Array.make (k * (k + 1) / 2) (0, 0) in
+  let idx = ref 0 in
+  for k1 = 0 to k - 1 do
+    for k2 = k1 to k - 1 do
+      pairs.(!idx) <- (k1, k2);
+      incr idx
+    done
+  done;
+  pairs
+
 type t = {
   mu : Mat.t;
   sigma_blocks : (int * Mat.t) array;
@@ -19,8 +35,11 @@ let assemble_g (d : Dataset.t) (prior : Prior.t) ~(s_mats : Mat.t array) =
   let k = d.Dataset.n_states and n = d.Dataset.n_samples in
   let nk = k * n in
   let g = Array.make (nk * nk) 0.0 in
-  for k1 = 0 to k - 1 do
-    for k2 = k1 to k - 1 do
+  let pairs = upper_pairs k in
+  let pool = Cbmf_parallel.Pool.default () in
+  Cbmf_parallel.Pool.parallel_for pool ~n:(Array.length pairs)
+    (fun pair_i ->
+      let k1, k2 = pairs.(pair_i) in
       let r12 = Mat.get prior.Prior.r k1 k2 in
       if r12 <> 0.0 then begin
         let p = Mat.matmul_nt s_mats.(k1) s_mats.(k2) in
@@ -29,16 +48,14 @@ let assemble_g (d : Dataset.t) (prior : Prior.t) ~(s_mats : Mat.t array) =
           let pi = i * n in
           for j = 0 to n - 1 do
             let v = r12 *. p.Mat.data.(pi + j) in
-            g.(gi + (k2 * n) + j) <- g.(gi + (k2 * n) + j) +. v;
+            g.(gi + (k2 * n) + j) <- v;
             if k1 <> k2 then begin
               let gj = ((k2 * n) + j) * nk in
-              g.(gj + (k1 * n) + i) <- g.(gj + (k1 * n) + i) +. v
+              g.(gj + (k1 * n) + i) <- v
             end
           done
         done
-      end
-    done
-  done;
+      end);
   let s2 = prior.Prior.sigma0 *. prior.Prior.sigma0 in
   for i = 0 to nk - 1 do
     g.((i * nk) + i) <- g.((i * nk) + i) +. s2
@@ -120,11 +137,13 @@ let compute ?(need_sigma = true) (d : Dataset.t) (prior : Prior.t) ~active =
       let trace_ginv = Mat.trace ginv in
       (* W_j[k1,k2] = B_{k1}[:,j]ᵀ · Ginv_blk(k1,k2) · B_{k2}[:,j]. *)
       let w = Array.init a (fun _ -> Mat.create k k) in
-      let zbuf = Mat.create n a in
-      for k1 = 0 to k - 1 do
-        for k2 = k1 to k - 1 do
+      let pairs = upper_pairs k in
+      let pool = Cbmf_parallel.Pool.default () in
+      Cbmf_parallel.Pool.parallel_for pool ~n:(Array.length pairs)
+        (fun pair_i ->
+          let k1, k2 = pairs.(pair_i) in
           (* zbuf = Ginv_blk(k1,k2) · B_{k2,act}. *)
-          Mat.scale_inplace zbuf 0.0;
+          let zbuf = Mat.create n a in
           let b2 = b_act.(k2) in
           for i = 0 to n - 1 do
             let gi = ((k1 * n) + i) * (k * n) in
@@ -153,9 +172,7 @@ let compute ?(need_sigma = true) (d : Dataset.t) (prior : Prior.t) ~active =
           for j = 0 to a - 1 do
             Mat.set w.(j) k1 k2 acc.(j);
             if k1 <> k2 then Mat.set w.(j) k2 k1 acc.(j)
-          done
-        done
-      done;
+          done);
       let blocks =
         Array.mapi
           (fun j col ->

@@ -1,1 +1,1 @@
-lib/experiments/sweep.ml: Array Cbmf_circuit Cbmf_core Cbmf_model Dataset Format List Metrics Somp Stdlib String Sys Workload
+lib/experiments/sweep.ml: Array Cbmf_circuit Cbmf_core Cbmf_model Cbmf_parallel Dataset Format List Metrics Somp Stdlib String Unix Workload

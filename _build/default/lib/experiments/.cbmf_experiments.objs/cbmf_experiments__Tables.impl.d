@@ -1,1 +1,1 @@
-lib/experiments/tables.ml: Array Cbmf_circuit Cbmf_core Cbmf_model Float Format Metrics Printf Somp String Sys Testbench Workload
+lib/experiments/tables.ml: Array Cbmf_circuit Cbmf_core Cbmf_model Cbmf_parallel Float Format Metrics Printf Somp String Testbench Unix Workload

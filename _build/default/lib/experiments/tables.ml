@@ -23,9 +23,12 @@ let run ?(cbmf_config = Cbmf_core.Cbmf.default_config) ?(somp_n_per_state = 35)
   let tb = w.Workload.testbench in
   let k = Testbench.n_states tb in
   let n_pois = Testbench.n_pois tb in
-  let somp_fit_seconds = ref 0.0 and cbmf_fit_seconds = ref 0.0 in
-  let rows =
-    Array.init n_pois (fun poi ->
+  (* One fit pair per POI, fanned out across the domain pool; the
+     per-POI timings come back with each row and are summed in POI
+     order afterwards, so the table is independent of the schedule. *)
+  let pool = Cbmf_parallel.Pool.default () in
+  let fitted =
+    Cbmf_parallel.Pool.map ~chunk:1 pool ~n:n_pois (fun poi ->
         let test = Workload.test_dataset data ~poi in
         let train_somp =
           Workload.train_dataset data ~poi ~n_per_state:somp_n_per_state
@@ -33,20 +36,28 @@ let run ?(cbmf_config = Cbmf_core.Cbmf.default_config) ?(somp_n_per_state = 35)
         let train_cbmf =
           Workload.train_dataset data ~poi ~n_per_state:cbmf_n_per_state
         in
-        let t0 = Sys.time () in
+        let t0 = Unix.gettimeofday () in
         let somp, _ =
           Somp.fit_cv train_somp ~n_folds:4
             ~candidate_terms:[| 5; 10; 15; 20; 25; 30 |]
         in
-        somp_fit_seconds := !somp_fit_seconds +. (Sys.time () -. t0);
+        let somp_secs = Unix.gettimeofday () -. t0 in
         let model = Cbmf_core.Cbmf.fit ~config:cbmf_config train_cbmf in
-        cbmf_fit_seconds :=
-          !cbmf_fit_seconds +. model.Cbmf_core.Cbmf.info.Cbmf_core.Cbmf.fit_seconds;
-        {
-          poi = Workload.poi_name w poi;
-          somp_error = Metrics.coeffs_error_pooled ~coeffs:somp.Somp.coeffs test;
-          cbmf_error = Cbmf_core.Cbmf.test_error model test;
-        })
+        let row =
+          {
+            poi = Workload.poi_name w poi;
+            somp_error = Metrics.coeffs_error_pooled ~coeffs:somp.Somp.coeffs test;
+            cbmf_error = Cbmf_core.Cbmf.test_error model test;
+          }
+        in
+        (row, somp_secs, model.Cbmf_core.Cbmf.info.Cbmf_core.Cbmf.fit_seconds))
+  in
+  let rows = Array.map (fun (row, _, _) -> row) fitted in
+  let somp_fit_seconds =
+    ref (Array.fold_left (fun acc (_, s, _) -> acc +. s) 0.0 fitted)
+  in
+  let cbmf_fit_seconds =
+    ref (Array.fold_left (fun acc (_, _, c) -> acc +. c) 0.0 fitted)
   in
   let somp_samples = somp_n_per_state * k in
   let cbmf_samples = cbmf_n_per_state * k in

@@ -1,0 +1,202 @@
+(* Reusable domain pool for the C-BMF hot paths.
+
+   Determinism contract: every parallel entry point is chunk-order- and
+   domain-count-invariant.  [map]/[map_reduce] store per-index results in
+   a pre-allocated slot array and reduce them sequentially in index
+   order, so for any pool size and any chunking the result is
+   bit-identical to the sequential fold.  [parallel_for] requires the
+   body to write only index-owned locations; under that contract the
+   output is bit-identical to the sequential loop.
+
+   Pool size comes from [CBMF_DOMAINS] when set, otherwise
+   [Domain.recommended_domain_count ()].  A pool of size 1 (and any call
+   issued from inside a pool task — nested parallelism) runs strictly
+   sequentially on the calling domain, with no queueing. *)
+
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  job_done : Condition.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+  submit : Mutex.t; (* one job in flight at a time *)
+}
+
+(* True while the current domain is executing a pool task: nested
+   parallel calls fall back to the sequential path instead of
+   deadlocking on the shared queue. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let max_domains = 64
+
+let clamp_size n = Stdlib.max 1 (Stdlib.min max_domains n)
+
+let env_domains () =
+  match Sys.getenv_opt "CBMF_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> clamp_size n
+      | _ -> clamp_size (Domain.recommended_domain_count ()))
+  | None -> clamp_size (Domain.recommended_domain_count ())
+
+let worker_loop pool () =
+  Domain.DLS.set in_task true;
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stopped do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    match Queue.take_opt pool.queue with
+    | Some task ->
+        Mutex.unlock pool.mutex;
+        task ();
+        loop ()
+    | None ->
+        (* stopped and drained *)
+        Mutex.unlock pool.mutex
+  in
+  loop ()
+
+let create n =
+  let size = clamp_size n in
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      job_done = Condition.create ();
+      stopped = false;
+      workers = [||];
+      submit = Mutex.create ();
+    }
+  in
+  if size > 1 then
+    pool.workers <-
+      Array.init (size - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopped <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+(* Run [tasks] to completion; re-raises the lowest-indexed exception
+   (deterministic regardless of execution order).  The calling domain
+   participates in draining the queue. *)
+let exec pool (tasks : (unit -> unit) array) =
+  let nt = Array.length tasks in
+  if nt = 0 then ()
+  else if pool.size <= 1 || nt = 1 || Domain.DLS.get in_task then
+    Array.iter (fun f -> f ()) tasks
+  else begin
+    Mutex.lock pool.submit;
+    let remaining = Atomic.make nt in
+    let errors = Array.make nt None in
+    let wrap i f () =
+      (try f () with e -> errors.(i) <- Some e);
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.job_done;
+        Mutex.unlock pool.mutex
+      end
+    in
+    Mutex.lock pool.mutex;
+    Array.iteri (fun i f -> Queue.add (wrap i f) pool.queue) tasks;
+    Condition.broadcast pool.work_ready;
+    (* Main domain helps drain, then waits for in-flight tasks. *)
+    let rec drain () =
+      if Atomic.get remaining > 0 then
+        match Queue.take_opt pool.queue with
+        | Some task ->
+            Mutex.unlock pool.mutex;
+            Domain.DLS.set in_task true;
+            task ();
+            Domain.DLS.set in_task false;
+            Mutex.lock pool.mutex;
+            drain ()
+        | None ->
+            if Atomic.get remaining > 0 then
+              Condition.wait pool.job_done pool.mutex;
+            drain ()
+    in
+    drain ();
+    Mutex.unlock pool.mutex;
+    Mutex.unlock pool.submit;
+    Array.iter (function Some e -> raise e | None -> ()) errors
+  end
+
+let default_chunk pool n =
+  (* Aim for a few chunks per domain so stragglers balance, while
+     keeping per-chunk overhead negligible. *)
+  Stdlib.max 1 (n / (4 * pool.size))
+
+(* Chunk [0, n) into contiguous ranges of (at most) [chunk]. *)
+let chunk_ranges ~chunk n =
+  let c = Stdlib.max 1 chunk in
+  let n_chunks = (n + c - 1) / c in
+  Array.init n_chunks (fun ci ->
+      let lo = ci * c in
+      (lo, Stdlib.min n (lo + c)))
+
+let parallel_for ?chunk pool ~n f =
+  if n > 0 then begin
+    let chunk = match chunk with Some c -> c | None -> default_chunk pool n in
+    let tasks =
+      Array.map
+        (fun (lo, hi) () ->
+          for i = lo to hi - 1 do
+            f i
+          done)
+        (chunk_ranges ~chunk n)
+    in
+    exec pool tasks
+  end
+
+let map ?chunk pool ~n f =
+  let slots = Array.make n None in
+  parallel_for ?chunk pool ~n (fun i -> slots.(i) <- Some (f i));
+  Array.map (function Some x -> x | None -> assert false) slots
+
+let map_reduce ?chunk pool ~n ~map:map_f ~init ~reduce =
+  (* Mapped in parallel, reduced sequentially in index order: the
+     result is bit-identical to the sequential fold for any pool size
+     and chunking, even for non-associative float reductions. *)
+  Array.fold_left reduce init (map ?chunk pool ~n map_f)
+
+let map_array ?chunk pool f xs =
+  map ?chunk pool ~n:(Array.length xs) (fun i -> f xs.(i))
+
+(* --- Global default pool ------------------------------------------- *)
+
+let default_pool : t option ref = ref None
+
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create (env_domains ()) in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_mutex;
+  pool
+
+(* Resize the shared default pool (bench and the determinism tests use
+   this to compare domain counts within one process). *)
+let set_default_size n =
+  Mutex.lock default_mutex;
+  (match !default_pool with Some p -> shutdown p | None -> ());
+  default_pool := Some (create n);
+  Mutex.unlock default_mutex

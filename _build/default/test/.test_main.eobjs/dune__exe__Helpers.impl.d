@@ -1,1 +1,1 @@
-test/helpers.ml: Alcotest Cbmf_linalg Cbmf_prob Mat QCheck2 QCheck_alcotest Vec
+test/helpers.ml: Alcotest Array Cbmf_linalg Cbmf_prob Int64 Mat QCheck2 QCheck_alcotest Vec

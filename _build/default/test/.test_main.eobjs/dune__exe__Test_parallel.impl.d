@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Cbmf_circuit Cbmf_parallel Cbmf_prob Domain Fun Helpers Int64 List QCheck2

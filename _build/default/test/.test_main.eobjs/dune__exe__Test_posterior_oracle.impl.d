@@ -1,0 +1,1 @@
+test/test_posterior_oracle.ml: Array Cbmf_core Cbmf_linalg Cbmf_model Cbmf_parallel Cbmf_prob Dataset Fun Helpers Int64 Mat QCheck2

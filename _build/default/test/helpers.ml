@@ -37,6 +37,27 @@ let random_spd n =
   Mat.symmetrize_inplace g;
   g
 
+(* FNV-1a over IEEE-754 bit patterns: any single-ulp difference changes
+   the hash, so these make exact determinism goldens. *)
+let hash_floats_acc acc (xs : float array) =
+  Array.fold_left
+    (fun acc x ->
+      Int64.mul (Int64.logxor acc (Int64.bits_of_float x)) 0x100000001B3L)
+    acc xs
+
+let hash_floats xs = hash_floats_acc 0xCBF29CE484222325L xs
+
+let hash_mats (ms : Mat.t array) =
+  Array.fold_left
+    (fun acc (m : Mat.t) -> hash_floats_acc acc m.Mat.data)
+    0xCBF29CE484222325L ms
+
+(* Pinned golden: FNV-1a hash of all xs then ys matrices of
+   [Montecarlo.generate] on the LNA testbench, seed 42, n_per_state 3.
+   Guards the per-sample RNG-splitting contract — the stream must stay
+   bit-identical at any CBMF_DOMAINS and across refactors. *)
+let montecarlo_lna_seed42_n3_hash = -1015624154674765274L
+
 let mat_close ?(tol = 1e-8) name a b =
   if not (Mat.approx_equal ~tol a b) then
     Alcotest.failf "%s: matrices differ (max delta %g)" name

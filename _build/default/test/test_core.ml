@@ -247,6 +247,35 @@ let test_em_min_active () =
   let _, post, _ = Em.run ~config:cfg std (uniform_prior std) in
   check_true "min_active respected" (Array.length post.Posterior.active >= 3)
 
+let test_prune_all_zero_lambda () =
+  (* Every λ = 0 ⇒ nothing clears the relative floor and the fallback
+     must pick the lowest-indexed columns deterministically. *)
+  let cfg = { Em.default_config with min_active = 2 } in
+  let kept = Em.prune cfg ~iter:5 (Array.make 6 0.0) in
+  check_int "kept count" 2 (Array.length kept);
+  check_int "first column" 0 kept.(0);
+  check_int "second column" 1 kept.(1);
+  (* Warm iterations hit the same fallback (tol·lmax = 0 either way). *)
+  let warm = Em.prune cfg ~iter:1 (Array.make 6 0.0) in
+  check_true "warm identical" (warm = kept)
+
+let test_prune_tied_lambda_deterministic () =
+  (* All-equal λ also ties the sort keys: the kept set must still be
+     the smallest column indices, independent of sort internals. *)
+  let cfg = { Em.default_config with min_active = 3; prune_tol = 2.0 } in
+  let kept = Em.prune cfg ~iter:5 (Array.make 8 0.7) in
+  check_true "ties broken by index" (kept = [| 0; 1; 2 |])
+
+let test_prune_single_column () =
+  let cfg = { Em.default_config with min_active = 1 } in
+  check_true "single zero column kept"
+    (Em.prune cfg ~iter:5 [| 0.0 |] = [| 0 |]);
+  check_true "single positive column kept"
+    (Em.prune cfg ~iter:5 [| 0.3 |] = [| 0 |]);
+  (* min_active larger than M must clamp, not crash. *)
+  let cfg3 = { Em.default_config with min_active = 3 } in
+  check_true "clamped to M" (Em.prune cfg3 ~iter:5 [| 0.0 |] = [| 0 |])
+
 (* --- Init --- *)
 
 let test_init_finds_support () =
@@ -454,7 +483,10 @@ let suite =
         case "fixed R ablation" test_em_fixed_r;
         case "sigma floor" test_em_sigma_update_floor;
         case "R stays PD" test_em_r_stays_pd;
-        case "min_active" test_em_min_active ] );
+        case "min_active" test_em_min_active;
+        case "prune: all-zero lambda deterministic" test_prune_all_zero_lambda;
+        case "prune: tied lambda deterministic" test_prune_tied_lambda_deterministic;
+        case "prune: single column" test_prune_single_column ] );
     ( "core.init",
       [ case "finds support" test_init_finds_support;
         case "prior shape" test_init_prior_shape;

@@ -16,4 +16,6 @@ let () =
          Test_group_lasso.suite;
          Test_core.suite;
          Test_cluster.suite;
+         Test_parallel.suite;
+         Test_posterior_oracle.suite;
          Test_integration.suite ])

@@ -1,0 +1,107 @@
+(* Property-based oracle for the structured posterior: on random small
+   (K, N, M) instances with every basis function active, the blocked
+   O((NK)²·a) path of [Posterior.compute] — including its domain-pool
+   fan-out — must agree with the literal dense reference
+   [Posterior.naive_dense] (eqs. 19–21) on μ, every Σ-block and the
+   NLML to 1e-8, and must be bit-identical across pool sizes. *)
+
+open Cbmf_linalg
+open Cbmf_model
+open Helpers
+module Pool = Cbmf_parallel.Pool
+
+let build_case ~k ~n ~m ~seed =
+  let rng = Cbmf_prob.Rng.create seed in
+  let design =
+    Array.init k (fun _ ->
+        Mat.init n m (fun _ _ -> Cbmf_prob.Rng.gaussian rng))
+  in
+  let response = Array.init k (fun _ -> Cbmf_prob.Rng.gaussian_vector rng n) in
+  let d = Dataset.create ~design ~response in
+  let lambda = Array.init m (fun _ -> 0.05 +. Cbmf_prob.Rng.float rng) in
+  let r0 = 0.9 *. Cbmf_prob.Rng.float rng in
+  let sigma0 = 0.5 +. Cbmf_prob.Rng.float rng in
+  let prior =
+    Cbmf_core.Prior.create ~lambda
+      ~r:(Cbmf_core.Prior.r_of_r0 ~n_states:k ~r0)
+      ~sigma0
+  in
+  (d, prior)
+
+(* |a − b| ≤ tol·(1 + max |naive|), elementwise. *)
+let close ~tol reference delta = delta <= tol *. (1.0 +. reference)
+
+let mat_scale (a : Mat.t) = Mat.max_abs a
+
+let compute_all (d : Dataset.t) prior =
+  let active = Array.init d.Dataset.n_basis Fun.id in
+  Cbmf_core.Posterior.compute ~need_sigma:true d prior ~active
+
+let gen_case =
+  QCheck2.Gen.(
+    quad (int_range 1 4) (int_range 2 6) (int_range 2 8) (int_range 0 100_000))
+
+let prop_matches_dense_oracle (k, n, m, seed) =
+  let d, prior = build_case ~k ~n ~m ~seed in
+  let post = compute_all d prior in
+  let mu_naive, sigma_naive, nlml_naive = Cbmf_core.Posterior.naive_dense d prior in
+  let tol = 1e-8 in
+  let mu_ok =
+    close ~tol (mat_scale mu_naive)
+      (Mat.max_abs (Mat.sub mu_naive post.Cbmf_core.Posterior.mu))
+  in
+  let nlml_ok =
+    close ~tol (abs_float nlml_naive)
+      (abs_float (nlml_naive -. post.Cbmf_core.Posterior.nlml))
+  in
+  let blocks_ok =
+    Array.for_all
+      (fun (col, block) ->
+        let naive_block =
+          Mat.init k k (fun s1 s2 ->
+              Mat.get sigma_naive ((col * k) + s1) ((col * k) + s2))
+        in
+        close ~tol (mat_scale naive_block)
+          (Mat.max_abs (Mat.sub naive_block block)))
+      post.Cbmf_core.Posterior.sigma_blocks
+  in
+  mu_ok && nlml_ok && blocks_ok
+
+let prop_bit_identical_across_domains (k, n, m, seed) =
+  let d, prior = build_case ~k ~n ~m ~seed in
+  Pool.set_default_size 1;
+  let p1 = compute_all d prior in
+  Pool.set_default_size 4;
+  let p4 = compute_all d prior in
+  Pool.set_default_size (Pool.env_domains ());
+  let mats_equal (a : Mat.t) (b : Mat.t) = a.Mat.data = b.Mat.data in
+  mats_equal p1.Cbmf_core.Posterior.mu p4.Cbmf_core.Posterior.mu
+  && Int64.equal
+       (Int64.bits_of_float p1.Cbmf_core.Posterior.nlml)
+       (Int64.bits_of_float p4.Cbmf_core.Posterior.nlml)
+  && Array.for_all2
+       (fun (c1, b1) (c4, b4) -> c1 = c4 && mats_equal b1 b4)
+       p1.Cbmf_core.Posterior.sigma_blocks p4.Cbmf_core.Posterior.sigma_blocks
+
+(* Sparse active sets exercise the a < M corner of the pair loops. *)
+let prop_active_subset_matches (k, n, m, seed) =
+  let d, prior = build_case ~k ~n ~m ~seed in
+  let active = Array.init ((m + 1) / 2) (fun i -> 2 * i) in
+  Pool.set_default_size 1;
+  let p1 = Cbmf_core.Posterior.compute ~need_sigma:true d prior ~active in
+  Pool.set_default_size 4;
+  let p4 = Cbmf_core.Posterior.compute ~need_sigma:true d prior ~active in
+  Pool.set_default_size (Pool.env_domains ());
+  p1.Cbmf_core.Posterior.mu.Mat.data = p4.Cbmf_core.Posterior.mu.Mat.data
+  && Int64.equal
+       (Int64.bits_of_float p1.Cbmf_core.Posterior.nlml)
+       (Int64.bits_of_float p4.Cbmf_core.Posterior.nlml)
+
+let suite =
+  [ ( "parallel.posterior-oracle",
+      [ qcase ~count:40 "compute = naive_dense (mu, Sigma, NLML) @ 1e-8"
+          gen_case prop_matches_dense_oracle;
+        qcase ~count:15 "bit-identical at 1 vs 4 domains" gen_case
+          prop_bit_identical_across_domains;
+        qcase ~count:15 "sparse active set, 1 vs 4 domains" gen_case
+          prop_active_subset_matches ] ) ]

@@ -43,6 +43,18 @@ let uint64 r =
 
 let split r = of_seed64 (uint64 r)
 
+(* Independent stream addressed by (base, index): the index is hashed
+   through splitmix64 before mixing so that adjacent indices land far
+   apart in seed space.  Pure in both arguments — the backbone of the
+   deterministic parallel Monte-Carlo path, where stream [i] must not
+   depend on how many domains generated streams [0..i-1]. *)
+let derive base ~index =
+  let st = ref (Int64.of_int index) in
+  let h = splitmix64_next st in
+  of_seed64 (Int64.logxor base h)
+
+let seed_of r = uint64 r
+
 let copy r = { r with s0 = r.s0 }
 
 let float r =

@@ -13,6 +13,16 @@ val create : int -> t
 val split : t -> t
 (** Derive an independent child stream; the parent advances. *)
 
+val derive : int64 -> index:int -> t
+(** [derive base ~index] is an independent stream addressed by the pair
+    [(base, index)].  Pure in both arguments: unlike [split], it does
+    not advance any parent state, so a family of streams indexed by
+    sample number can be materialized in any order — or in parallel —
+    with bit-identical results. *)
+
+val seed_of : t -> int64
+(** Draw a 64-bit base seed for [derive] (advances the generator). *)
+
 val copy : t -> t
 (** Duplicate the current state (the two copies then produce identical
     streams — useful in tests). *)
