@@ -1,0 +1,215 @@
+(* Frozen pre-optimization posterior (the PR-1-era hot path): dense
+   [Chol.inverse] of the NK×NK Gram to extract the W-blocks, sqrt(λ)-
+   scaled design copies for the G assembly, no workspace reuse.  Kept
+   verbatim as the "before" baseline for BENCH_posterior.json — the
+   library's [Posterior.compute] must beat this end-to-end through the
+   same EM loop ([Em.run ~posterior:Legacy.compute]). *)
+
+open Cbmf_linalg
+open Cbmf_model
+open Cbmf_core
+
+let upper_pairs k =
+  let pairs = Array.make (k * (k + 1) / 2) (0, 0) in
+  let idx = ref 0 in
+  for k1 = 0 to k - 1 do
+    for k2 = k1 to k - 1 do
+      pairs.(!idx) <- (k1, k2);
+      incr idx
+    done
+  done;
+  pairs
+
+let assemble_g (d : Dataset.t) (prior : Prior.t) ~(s_mats : Mat.t array) =
+  let k = d.Dataset.n_states and n = d.Dataset.n_samples in
+  let nk = k * n in
+  let g = Array.make (nk * nk) 0.0 in
+  let pairs = upper_pairs k in
+  let pool = Cbmf_parallel.Pool.default () in
+  Cbmf_parallel.Pool.parallel_for pool ~n:(Array.length pairs)
+    (fun pair_i ->
+      let k1, k2 = pairs.(pair_i) in
+      let r12 = Mat.get prior.Prior.r k1 k2 in
+      if r12 <> 0.0 then begin
+        let p = Mat.matmul_nt_naive s_mats.(k1) s_mats.(k2) in
+        for i = 0 to n - 1 do
+          let gi = ((k1 * n) + i) * nk in
+          let pi = i * n in
+          for j = 0 to n - 1 do
+            let v = r12 *. p.Mat.data.(pi + j) in
+            g.(gi + (k2 * n) + j) <- v;
+            if k1 <> k2 then begin
+              let gj = ((k2 * n) + j) * nk in
+              g.(gj + (k1 * n) + i) <- v
+            end
+          done
+        done
+      end);
+  let s2 = prior.Prior.sigma0 *. prior.Prior.sigma0 in
+  for i = 0 to nk - 1 do
+    g.((i * nk) + i) <- g.((i * nk) + i) +. s2
+  done;
+  Mat.unsafe_of_flat ~rows:nk ~cols:nk g
+
+(* Dense inverse column-by-column, exactly as the pre-TRSM [Chol]
+   did it (the blocked [Chol.inverse] would flatter the baseline). *)
+let dense_inverse chol =
+  let n = Chol.dim chol in
+  let inv = Mat.create n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0.0 in
+    e.(j) <- 1.0;
+    Mat.set_col inv j (Chol.solve_vec chol e)
+  done;
+  Mat.symmetrize_inplace inv;
+  inv
+
+let compute ?(need_sigma = true) (d : Dataset.t) (prior : Prior.t) ~active =
+  let k = d.Dataset.n_states
+  and n = d.Dataset.n_samples
+  and m = d.Dataset.n_basis in
+  let a = Array.length active in
+  let nk = k * n in
+  let b_act = Array.map (fun bmat -> Mat.select_cols bmat active) d.Dataset.design in
+  let sqrt_lambda = Array.map (fun j -> sqrt prior.Prior.lambda.(j)) active in
+  let s_mats =
+    Array.map
+      (fun (bm : Mat.t) ->
+        Mat.init bm.Mat.rows a (fun i j -> Mat.get bm i j *. sqrt_lambda.(j)))
+      b_act
+  in
+  let g = assemble_g d prior ~s_mats in
+  let chol = Chol.factorize_with_retry g in
+  let y = Array.make nk 0.0 in
+  for s = 0 to k - 1 do
+    Array.blit d.Dataset.response.(s) 0 y (s * n) n
+  done;
+  let z = Chol.solve_vec chol y in
+  let v = Array.make_matrix a k 0.0 in
+  for s = 0 to k - 1 do
+    let bm = b_act.(s) in
+    for i = 0 to n - 1 do
+      let zi = z.((s * n) + i) in
+      if zi <> 0.0 then begin
+        let row = i * a in
+        for j = 0 to a - 1 do
+          v.(j).(s) <- v.(j).(s) +. (zi *. bm.Mat.data.(row + j))
+        done
+      end
+    done
+  done;
+  let mu = Mat.create m k in
+  Array.iteri
+    (fun j col ->
+      let lam = prior.Prior.lambda.(col) in
+      if lam > 0.0 then begin
+        let rv = Mat.mat_vec prior.Prior.r v.(j) in
+        for s = 0 to k - 1 do
+          Mat.set mu col s (lam *. rv.(s))
+        done
+      end)
+    active;
+  let resid_sq = ref 0.0 in
+  for s = 0 to k - 1 do
+    let bm = b_act.(s) in
+    for i = 0 to n - 1 do
+      let pred = ref 0.0 in
+      let row = i * a in
+      for j = 0 to a - 1 do
+        pred := !pred +. (bm.Mat.data.(row + j) *. Mat.get mu active.(j) s)
+      done;
+      let e = y.((s * n) + i) -. !pred in
+      resid_sq := !resid_sq +. (e *. e)
+    done
+  done;
+  let nlml = Vec.dot y z +. Chol.log_det chol in
+  let sigma_blocks, trace_ginv =
+    if not need_sigma then ([||], 0.0)
+    else begin
+      let ginv = dense_inverse chol in
+      let trace_ginv = Mat.trace ginv in
+      let w = Array.init a (fun _ -> Mat.create k k) in
+      let pairs = upper_pairs k in
+      let pool = Cbmf_parallel.Pool.default () in
+      Cbmf_parallel.Pool.parallel_for pool ~n:(Array.length pairs)
+        (fun pair_i ->
+          let k1, k2 = pairs.(pair_i) in
+          let zbuf = Mat.create n a in
+          let b2 = b_act.(k2) in
+          for i = 0 to n - 1 do
+            let gi = ((k1 * n) + i) * (k * n) in
+            let zrow = i * a in
+            for i2 = 0 to n - 1 do
+              let gv = ginv.Mat.data.(gi + (k2 * n) + i2) in
+              if gv <> 0.0 then begin
+                let brow = i2 * a in
+                for j = 0 to a - 1 do
+                  zbuf.Mat.data.(zrow + j) <-
+                    zbuf.Mat.data.(zrow + j) +. (gv *. b2.Mat.data.(brow + j))
+                done
+              end
+            done
+          done;
+          let b1 = b_act.(k1) in
+          let acc = Array.make a 0.0 in
+          for i = 0 to n - 1 do
+            let brow = i * a and zrow = i * a in
+            for j = 0 to a - 1 do
+              acc.(j) <-
+                acc.(j) +. (b1.Mat.data.(brow + j) *. zbuf.Mat.data.(zrow + j))
+            done
+          done;
+          for j = 0 to a - 1 do
+            Mat.set w.(j) k1 k2 acc.(j);
+            if k1 <> k2 then Mat.set w.(j) k2 k1 acc.(j)
+          done);
+      let blocks =
+        Array.mapi
+          (fun j col ->
+            let lam = prior.Prior.lambda.(col) in
+            let rw = Mat.matmul prior.Prior.r w.(j) in
+            let rwr = Mat.matmul rw prior.Prior.r in
+            let s = Mat.sub (Mat.scale lam prior.Prior.r) (Mat.scale (lam *. lam) rwr) in
+            Mat.symmetrize_inplace s;
+            (col, s))
+          active
+      in
+      (blocks, trace_ginv)
+    end
+  in
+  let predictive ~state (b : Vec.t) =
+    let mean = ref 0.0 in
+    Array.iter (fun col -> mean := !mean +. (b.(col) *. Mat.get mu col state)) active;
+    let t_act = Array.map (fun col -> prior.Prior.lambda.(col) *. b.(col)) active in
+    let a_aa = ref 0.0 in
+    Array.iteri (fun j col -> a_aa := !a_aa +. (t_act.(j) *. b.(col))) active;
+    let a_aa = Mat.get prior.Prior.r state state *. !a_aa in
+    let w = Array.make nk 0.0 in
+    for s = 0 to k - 1 do
+      let rks = Mat.get prior.Prior.r s state in
+      if rks <> 0.0 then begin
+        let bm = b_act.(s) in
+        for i = 0 to n - 1 do
+          let row = i * a in
+          let acc = ref 0.0 in
+          for j = 0 to a - 1 do
+            acc := !acc +. (bm.Mat.data.(row + j) *. t_act.(j))
+          done;
+          w.((s * n) + i) <- rks *. !acc
+        done
+      end
+    done;
+    let var = a_aa -. Chol.quad_inv chol w in
+    (!mean, Float.max var 0.0)
+  in
+  {
+    Posterior.mu;
+    sigma_blocks;
+    active;
+    nlml;
+    resid_sq = !resid_sq;
+    trace_ginv;
+    nk;
+    path = `Dual;
+    predictive;
+  }

@@ -7,7 +7,8 @@
    instance so Bechamel can afford many repetitions; the harness above
    reports the true paper-scale fitting costs).
 
-   Usage: main.exe [tab1] [tab2] [fig2] [fig3] [ablation] [micro] [par] [quick|full]
+   Usage: main.exe [tab1] [tab2] [fig2] [fig3] [ablation] [micro] [par]
+                   [posterior] [quick|full|smoke]
    With no arguments everything runs at paper scale with a 4-point
    sample-budget grid for the figures; [full] uses the paper's 6-point
    grid, [quick] reduced (non-paper) settings. *)
@@ -108,6 +109,189 @@ let run_par ~quick =
   close_out oc;
   Format.fprintf fmt "  [wrote BENCH_parallel.json]@."
 
+(* --- Posterior before/after kernels -------------------------------- *)
+
+(* Times the PR's optimized hot paths against the frozen pre-PR
+   implementations ([Legacy], naive GEMM), single-core, and writes
+   BENCH_posterior.json.  [smoke] swaps the LNA workload for a tiny
+   synthetic instance (no Monte-Carlo generation), then re-reads the
+   JSON and fails hard unless the schema holds and both solver paths
+   were exercised — this is what the [bench-smoke] dune alias runs
+   under [dune runtest]. *)
+let run_posterior ~smoke =
+  section
+    (if smoke then "posterior (smoke: schema + both solver paths)"
+     else "posterior (before/after kernels, LNA workload)");
+  let module Pool = Cbmf_parallel.Pool in
+  let open Cbmf_linalg in
+  Pool.set_default_size 1;
+  let workload, n_per_state, d, prior =
+    if smoke then begin
+      let rng = Cbmf_prob.Rng.create 5 in
+      let k = 3 and n = 6 and m = 10 in
+      let design =
+        Array.init k (fun _ ->
+            Mat.init n m (fun _ _ -> Cbmf_prob.Rng.gaussian rng))
+      in
+      let response =
+        Array.init k (fun _ -> Cbmf_prob.Rng.gaussian_vector rng n)
+      in
+      let d = Cbmf_model.Dataset.create ~design ~response in
+      let lambda = Array.make m 1e-7 in
+      Array.iter (fun j -> lambda.(j) <- 1.0) [| 1; 4; 7 |];
+      let prior =
+        Cbmf_core.Prior.create ~lambda
+          ~r:(Cbmf_core.Prior.r_of_r0 ~n_states:k ~r0:0.9)
+          ~sigma0:0.3
+      in
+      ("synthetic-smoke", n, d, prior)
+    end
+    else begin
+      let data = data_for "lna" in
+      let train = Workload.train_dataset data ~poi:0 ~n_per_state:15 in
+      let _, std = Cbmf_core.Standardize.fit train in
+      let init =
+        Cbmf_core.Init.run
+          ~config:Cbmf_core.Cbmf.fast_config.Cbmf_core.Cbmf.init std
+      in
+      ("lna", 15, std, init.Cbmf_core.Init.prior)
+    end
+  in
+  let active =
+    (* The initializer's support: post-pruning regime, aK < NK. *)
+    let keep = ref [] in
+    Array.iteri
+      (fun j lam -> if lam > 1e-3 then keep := j :: !keep)
+      prior.Cbmf_core.Prior.lambda;
+    Array.of_list (List.rev !keep)
+  in
+  let reps = if smoke then 1 else 3 in
+  let time_n f =
+    f ();
+    (* warm *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  (* 1. Blocked GEMM vs the naive triple loop, at Gram-assembly scale. *)
+  let gemm_dim = if smoke then 24 else 360 in
+  let rng = Cbmf_prob.Rng.create 17 in
+  let ga =
+    Mat.init gemm_dim gemm_dim (fun _ _ -> Cbmf_prob.Rng.gaussian rng)
+  in
+  let gb =
+    Mat.init gemm_dim gemm_dim (fun _ _ -> Cbmf_prob.Rng.gaussian rng)
+  in
+  let gemm_before = time_n (fun () -> ignore (Mat.matmul_nt_naive ga gb)) in
+  let gemm_after = time_n (fun () -> ignore (Mat.matmul_nt ga gb)) in
+  (* 2. Full posterior (μ, Σ-blocks, NLML), legacy vs each new path. *)
+  let post_before =
+    time_n (fun () -> ignore (Legacy.compute ~need_sigma:true d prior ~active))
+  in
+  let post_dual =
+    time_n (fun () ->
+        ignore
+          (Cbmf_core.Posterior.compute ~need_sigma:true ~path:`Dual d prior
+             ~active))
+  in
+  let post_primal =
+    time_n (fun () ->
+        ignore
+          (Cbmf_core.Posterior.compute ~need_sigma:true ~path:`Primal d prior
+             ~active))
+  in
+  let path_chosen =
+    let p =
+      Cbmf_core.Posterior.compute ~need_sigma:true ~path:`Auto d prior ~active
+    in
+    match p.Cbmf_core.Posterior.path with `Dual -> "dual" | `Primal -> "primal"
+  in
+  (* 3. End-to-end EM fit: the acceptance-criterion workload. *)
+  let em_config =
+    if smoke then { Cbmf_core.Em.default_config with max_iter = 3 }
+    else Cbmf_core.Cbmf.fast_config.Cbmf_core.Cbmf.em
+  in
+  let em_before =
+    time_n (fun () ->
+        ignore (Cbmf_core.Em.run ~config:em_config ~posterior:Legacy.compute d prior))
+  in
+  let em_after =
+    time_n (fun () -> ignore (Cbmf_core.Em.run ~config:em_config d prior))
+  in
+  Pool.set_default_size (Pool.env_domains ());
+  let kernels =
+    [ ("matmul_nt", gemm_before, gemm_after);
+      ("posterior-dual", post_before, post_dual);
+      ("posterior-primal", post_before, post_primal);
+      ("em-fit", em_before, em_after) ]
+  in
+  List.iter
+    (fun (name, before, after) ->
+      Format.fprintf fmt "  %-18s before %10.4f s   after %10.4f s   %6.2fx@."
+        name before after (before /. after))
+    kernels;
+  Format.fprintf fmt "  auto path on support (aK=%d, NK=%d): %s@."
+    (Array.length active * d.Cbmf_model.Dataset.n_states)
+    (d.Cbmf_model.Dataset.n_states * d.Cbmf_model.Dataset.n_samples)
+    path_chosen;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"workload\": %S,\n" workload;
+  Buffer.add_string buf "  \"kernel\": \"em-fit\",\n";
+  Printf.bprintf buf "  \"n_per_state\": %d,\n" n_per_state;
+  Printf.bprintf buf "  \"path_chosen\": %S,\n" path_chosen;
+  Buffer.add_string buf "  \"paths_exercised\": [\"dual\", \"primal\"],\n";
+  Buffer.add_string buf "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, before, after) ->
+      Printf.bprintf buf
+        "    {\"name\": %S, \"seconds_before\": %.6f, \"seconds_after\": \
+         %.6f, \"speedup\": %.4f}%s\n"
+        name before after (before /. after)
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf "  \"speedup\": %.4f\n" (em_before /. em_after);
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_posterior.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Format.fprintf fmt "  [wrote BENCH_posterior.json]@.";
+  if smoke then begin
+    let ic = open_in "BENCH_posterior.json" in
+    let len = in_channel_length ic in
+    let body = really_input_string ic len in
+    close_in ic;
+    let has needle =
+      let nl = String.length needle and bl = String.length body in
+      let rec scan i =
+        if i + nl > bl then false
+        else if String.sub body i nl = needle then true
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let required =
+      [ "\"workload\""; "\"kernel\""; "\"n_per_state\""; "\"path_chosen\"";
+        "\"paths_exercised\""; "\"kernels\""; "\"seconds_before\"";
+        "\"seconds_after\""; "\"speedup\""; "\"dual\""; "\"primal\"";
+        "\"posterior-dual\""; "\"posterior-primal\""; "\"em-fit\"" ]
+    in
+    let missing = List.filter (fun k -> not (has k)) required in
+    if missing <> [] then begin
+      Format.fprintf fmt "  SMOKE FAIL: missing %s@."
+        (String.concat ", " missing);
+      exit 1
+    end;
+    if not (path_chosen = "dual" || path_chosen = "primal") then begin
+      Format.fprintf fmt "  SMOKE FAIL: bad path_chosen %s@." path_chosen;
+      exit 1
+    end;
+    Format.fprintf fmt "  smoke OK: schema valid, both paths exercised@."
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------- *)
 
 let micro_dataset () =
@@ -196,7 +380,10 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
   let full = List.mem "full" args in
-  let args = List.filter (fun a -> a <> "quick" && a <> "full") args in
+  let smoke = List.mem "smoke" args in
+  let args =
+    List.filter (fun a -> a <> "quick" && a <> "full" && a <> "smoke") args
+  in
   let all = args = [] in
   let want x = all || List.mem x args in
   let t0 = Unix.gettimeofday () in
@@ -207,5 +394,6 @@ let () =
   if want "ablation" then run_ablation ();
   if want "micro" then micro ();
   if want "par" then run_par ~quick;
+  if want "posterior" then run_posterior ~smoke;
   Format.fprintf fmt "@.[bench complete in %.1f s wall clock]@."
     (Unix.gettimeofday () -. t0)

@@ -79,8 +79,9 @@ let m_step cfg (d : Dataset.t) (prior : Prior.t) (post : Posterior.t) =
       (* e = Σ_m + μ_m μ_mᵀ *)
       let e = Mat.copy sigma_m in
       Mat.add_outer_inplace e 1.0 mu_m mu_m;
-      (* λ_m = Tr(R⁻¹ e)/K *)
-      let tr = Mat.trace (Mat.matmul r_inv e) in
+      (* λ_m = Tr(R⁻¹ e)/K; both factors are symmetric, so the trace
+         of the product is the elementwise dot — O(K²), not O(K³). *)
+      let tr = Vec.dot r_inv.Mat.data e.Mat.data in
       let lam = Float.max (tr /. float_of_int k) 0.0 in
       lambda'.(col) <- lam;
       if lam > 1e-300 then begin
@@ -121,11 +122,21 @@ let m_step cfg (d : Dataset.t) (prior : Prior.t) (post : Posterior.t) =
   in
   Prior.create ~lambda:lambda' ~r:r' ~sigma0:sigma0'
 
-let run ?(config = default_config) (d : Dataset.t) prior0 =
+let run ?(config = default_config) ?posterior (d : Dataset.t) prior0 =
+  (* One workspace for the whole EM run: every iteration's posterior
+     solve reuses the same large buffers (see {!Posterior.workspace}). *)
+  let posterior =
+    match posterior with
+    | Some f -> f
+    | None ->
+        let ws = Posterior.make_workspace () in
+        fun ?(need_sigma = true) d prior ~active ->
+          Posterior.compute ~need_sigma ~ws d prior ~active
+  in
   let nlml = ref [] and active_hist = ref [] in
   let rec loop prior last_nlml iter =
     let active = prune config ~iter prior.Prior.lambda in
-    let post = Posterior.compute ~need_sigma:true d prior ~active in
+    let post = posterior ~need_sigma:true d prior ~active in
     nlml := post.Posterior.nlml :: !nlml;
     active_hist := Array.length active :: !active_hist;
     let converged =

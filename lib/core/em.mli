@@ -56,6 +56,15 @@ type trace = {
 }
 
 val run :
-  ?config:config -> Dataset.t -> Prior.t -> Prior.t * Posterior.t * trace
+  ?config:config ->
+  ?posterior:
+    (?need_sigma:bool -> Dataset.t -> Prior.t -> active:int array -> Posterior.t) ->
+  Dataset.t ->
+  Prior.t ->
+  Prior.t * Posterior.t * trace
 (** [run data prior0] iterates EM from [prior0] and returns the final
-    hyper-parameters, the posterior under them, and the trace. *)
+    hyper-parameters, the posterior under them, and the trace.
+    [posterior] overrides the E-step solver (default:
+    {!Posterior.compute} with one shared {!Posterior.workspace} for the
+    whole run) — the bench harness uses this to time alternative
+    posterior implementations through an identical EM loop. *)

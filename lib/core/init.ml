@@ -79,9 +79,13 @@ let greedy_pass ~(train : Dataset.t) ~test ~r0 ~sigma0 ~theta_max =
            let v = Array.make k 0.0 in
            for st = 0 to k - 1 do
              let b = train.Dataset.design.(st) in
+             let bd = b.Mat.data and bc = b.Mat.cols in
              let acc = ref 0.0 in
              for i = 0 to n - 1 do
-               acc := !acc +. (Mat.get b i col *. z.((st * n) + i))
+               acc :=
+                 !acc
+                 +. (Array.unsafe_get bd ((i * bc) + col)
+                    *. Array.unsafe_get z ((st * n) + i))
              done;
              v.(st) <- !acc
            done;
@@ -90,11 +94,17 @@ let greedy_pass ~(train : Dataset.t) ~test ~r0 ~sigma0 ~theta_max =
        (* Residuals (eq. 34). *)
        for st = 0 to k - 1 do
          let b = train.Dataset.design.(st) in
+         let bd = b.Mat.data and bc = b.Mat.cols in
+         let md = mu.Mat.data in
          let res = Vec.copy train.Dataset.response.(st) in
          for i = 0 to n - 1 do
+           let row = i * bc in
            let pred = ref 0.0 in
            for j = 0 to a - 1 do
-             pred := !pred +. (Mat.get b i sup.(j) *. Mat.get mu j st)
+             pred :=
+               !pred
+               +. (Array.unsafe_get bd (row + Array.unsafe_get sup j)
+                  *. Array.unsafe_get md ((j * k) + st))
            done;
            res.(i) <- res.(i) -. !pred
          done;

@@ -17,6 +17,39 @@ let upper_pairs k =
   done;
   pairs
 
+(* Connected components of R's nonzero pattern.  G inherits R's block
+   structure, Cholesky produces no fill across components, and G⁻¹ is
+   therefore exactly block-diagonal over them — so any cross-component
+   (k1,k2) block of G, L⁻¹·[stack] products or W is identically zero
+   and can be skipped without changing a single bit of the result. *)
+let r_components (r : Mat.t) =
+  let k = r.Mat.rows in
+  let comp = Array.make k (-1) in
+  let next = ref 0 in
+  for s = 0 to k - 1 do
+    if comp.(s) < 0 then begin
+      let c = !next in
+      incr next;
+      comp.(s) <- c;
+      let stack = ref [ s ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+            stack := rest;
+            for v = 0 to k - 1 do
+              if comp.(v) < 0 && Mat.get r u v <> 0.0 then begin
+                comp.(v) <- c;
+                stack := v :: !stack
+              end
+            done
+      done
+    end
+  done;
+  comp
+
+type path = [ `Dual | `Primal ]
+
 type t = {
   mu : Mat.t;
   sigma_blocks : (int * Mat.t) array;
@@ -25,24 +58,51 @@ type t = {
   resid_sq : float;
   trace_ginv : float;
   nk : int;
+  path : path;
   predictive : state:int -> Vec.t -> float * float;
 }
 
+(* Reusable per-EM-iteration buffers.  [Em.run] threads one workspace
+   through every posterior solve so the large allocations (the NK×NK
+   Gram assembly, the flat response, the NK×aK stacked solve) happen
+   once and are reused: per-iteration allocation churn drops to ~zero
+   after the first iteration.  The buffers are invisible outside a
+   [compute] call — everything the returned record (including its
+   [predictive] closure) holds is freshly allocated or owned by the
+   Cholesky factor. *)
+type workspace = {
+  g_buf : float array ref;  (* NK·NK Gram assembly *)
+  y_buf : float array ref;  (* NK flat response *)
+  u_buf : float array ref;  (* NK·aK stacked design / TRSM solution *)
+}
+
+let make_workspace () = { g_buf = ref [||]; y_buf = ref [||]; u_buf = ref [||] }
+
+(* Exact-size reuse: the NK-sized buffers keep their array across EM
+   iterations (NK is fixed); the aK-sized ones reallocate only when
+   pruning shrinks the active set. *)
+let grab buf len =
+  let arr = if Array.length !buf = len then !buf else Array.make len 0.0 in
+  Array.fill arr 0 len 0.0;
+  buf := arr;
+  arr
+
 (* Assemble G = σ0²I + DADᵀ block-wise: block (k,k') is
-   R[k,k']·(S_k S_{k'}ᵀ) where S_k is B_k restricted to the active
-   columns and scaled by sqrt(λ). *)
-let assemble_g (d : Dataset.t) (prior : Prior.t) ~(s_mats : Mat.t array) =
+   R[k,k']·(B_k Λ B_{k'}ᵀ) on the active columns — the λ-weighting is
+   fused into the kernel, so no scaled copies of the designs are
+   formed. *)
+let assemble_g (d : Dataset.t) (prior : Prior.t) ~(b_act : Mat.t array)
+    ~(lambda_act : Vec.t) ~pairs ~(into : float array) =
   let k = d.Dataset.n_states and n = d.Dataset.n_samples in
   let nk = k * n in
-  let g = Array.make (nk * nk) 0.0 in
-  let pairs = upper_pairs k in
+  let g = into in
   let pool = Cbmf_parallel.Pool.default () in
   Cbmf_parallel.Pool.parallel_for pool ~n:(Array.length pairs)
     (fun pair_i ->
       let k1, k2 = pairs.(pair_i) in
       let r12 = Mat.get prior.Prior.r k1 k2 in
       if r12 <> 0.0 then begin
-        let p = Mat.matmul_nt s_mats.(k1) s_mats.(k2) in
+        let p = Mat.matmul_nt_weighted b_act.(k1) lambda_act b_act.(k2) in
         for i = 0 to n - 1 do
           let gi = ((k1 * n) + i) * nk in
           let pi = i * n in
@@ -62,32 +122,49 @@ let assemble_g (d : Dataset.t) (prior : Prior.t) ~(s_mats : Mat.t array) =
   done;
   Mat.unsafe_of_flat ~rows:nk ~cols:nk g
 
-let compute ?(need_sigma = true) (d : Dataset.t) (prior : Prior.t) ~active =
+(* Flat response, state-major, into a reusable buffer. *)
+let flat_response (d : Dataset.t) ~(into : float array) =
+  let k = d.Dataset.n_states and n = d.Dataset.n_samples in
+  for s = 0 to k - 1 do
+    Array.blit d.Dataset.response.(s) 0 into (s * n) n
+  done;
+  into
+
+(* ‖y − Dμ‖² over the active columns. *)
+let residual_sq (d : Dataset.t) ~(b_act : Mat.t array) ~(mu : Mat.t) ~active
+    ~(y : float array) =
+  let k = d.Dataset.n_states and n = d.Dataset.n_samples in
+  let a = Array.length active in
+  let resid_sq = ref 0.0 in
+  for s = 0 to k - 1 do
+    let bm = b_act.(s) in
+    for i = 0 to n - 1 do
+      let pred = ref 0.0 in
+      let row = i * a in
+      for j = 0 to a - 1 do
+        pred := !pred +. (bm.Mat.data.(row + j) *. Mat.get mu active.(j) s)
+      done;
+      let e = y.((s * n) + i) -. !pred in
+      resid_sq := !resid_sq +. (e *. e)
+    done
+  done;
+  !resid_sq
+
+(* --- Dual path: (NK)-sized Cholesky of G ---------------------------- *)
+
+let compute_dual ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
+    ~(b_act : Mat.t array) ~(lambda_act : Vec.t) =
   let k = d.Dataset.n_states
   and n = d.Dataset.n_samples
   and m = d.Dataset.n_basis in
-  assert (Prior.n_basis prior = m);
-  assert (Prior.n_states prior = k);
   let a = Array.length active in
-  assert (a > 0);
-  Array.iter (fun i -> assert (i >= 0 && i < m)) active;
   let nk = k * n in
-  (* Active-column design slices, raw and sqrt(λ)-scaled. *)
-  let b_act = Array.map (fun bmat -> Mat.select_cols bmat active) d.Dataset.design in
-  let sqrt_lambda = Array.map (fun j -> sqrt prior.Prior.lambda.(j)) active in
-  let s_mats =
-    Array.map
-      (fun (bm : Mat.t) ->
-        Mat.init bm.Mat.rows a (fun i j -> Mat.get bm i j *. sqrt_lambda.(j)))
-      b_act
+  let pairs = upper_pairs k in
+  let g =
+    assemble_g d prior ~b_act ~lambda_act ~pairs ~into:(grab ws.g_buf (nk * nk))
   in
-  let g = assemble_g d prior ~s_mats in
   let chol = Chol.factorize_with_retry g in
-  (* Flat response, state-major. *)
-  let y = Array.make nk 0.0 in
-  for s = 0 to k - 1 do
-    Array.blit d.Dataset.response.(s) 0 y (s * n) n
-  done;
+  let y = flat_response d ~into:(grab ws.y_buf nk) in
   let z = Chol.solve_vec chol y in
   (* v: a×k with v.(j).(s) = B_s[:,active_j]ᵀ z_s. *)
   let v = Array.make_matrix a k 0.0 in
@@ -115,71 +192,114 @@ let compute ?(need_sigma = true) (d : Dataset.t) (prior : Prior.t) ~active =
         done
       end)
     active;
-  (* Residual ‖y − Dμ‖². *)
-  let resid_sq = ref 0.0 in
-  for s = 0 to k - 1 do
-    let bm = b_act.(s) in
-    for i = 0 to n - 1 do
-      let pred = ref 0.0 in
-      let row = i * a in
-      for j = 0 to a - 1 do
-        pred := !pred +. (bm.Mat.data.(row + j) *. Mat.get mu active.(j) s)
-      done;
-      let e = y.((s * n) + i) -. !pred in
-      resid_sq := !resid_sq +. (e *. e)
-    done
-  done;
+  let resid_sq = residual_sq d ~b_act ~mu ~active ~y in
   let nlml = Vec.dot y z +. Chol.log_det chol in
   let sigma_blocks, trace_ginv =
     if not need_sigma then ([||], 0.0)
     else begin
-      let ginv = Chol.inverse chol in
-      let trace_ginv = Mat.trace ginv in
-      (* W_j[k1,k2] = B_{k1}[:,j]ᵀ · Ginv_blk(k1,k2) · B_{k2}[:,j]. *)
+      (* W_j[k1,k2] = B_{k1}[:,j]ᵀ · Ginv_blk(k1,k2) · B_{k2}[:,j].
+         Two exact routes, picked by the stacked-RHS width aK:
+
+         - aK ≤ NK — never form G⁻¹: with U the NK×aK block-diagonal
+           stack of the active designs and X = L⁻¹U (one multi-RHS
+           TRSM, O((NK)²·aK)), W_j[k1,k2] is the dot of columns
+           (k1,j) and (k2,j) of X.
+         - aK > NK (the EM warm-up, where every λ is live) — the TRSM
+           would cost O((NK)²·aK) ≫ O((NK)³), so instead materialize
+           G⁻¹ = L⁻ᵀ·L⁻¹ once with blocked kernels (triangular
+           inversion + SYRK) and contract each state-pair block
+           through a blocked GEMM, O((NK)³ + (NK)²·a) total. *)
+      let ak = a * k in
+      let comp = r_components prior.Prior.r in
       let w = Array.init a (fun _ -> Mat.create k k) in
-      let pairs = upper_pairs k in
       let pool = Cbmf_parallel.Pool.default () in
-      Cbmf_parallel.Pool.parallel_for pool ~n:(Array.length pairs)
-        (fun pair_i ->
-          let k1, k2 = pairs.(pair_i) in
-          (* zbuf = Ginv_blk(k1,k2) · B_{k2,act}. *)
-          let zbuf = Mat.create n a in
-          let b2 = b_act.(k2) in
-          for i = 0 to n - 1 do
-            let gi = ((k1 * n) + i) * (k * n) in
-            let zrow = i * a in
-            for i2 = 0 to n - 1 do
-              let gv = ginv.Mat.data.(gi + (k2 * n) + i2) in
-              if gv <> 0.0 then begin
-                let brow = i2 * a in
+      let trace_ginv =
+        if ak <= nk then begin
+          let trace_ginv = Chol.trace_inverse chol in
+          let ubuf = grab ws.u_buf (nk * ak) in
+          for s = 0 to k - 1 do
+            let bm = b_act.(s) in
+            for i = 0 to n - 1 do
+              let urow = ((s * n) + i) * ak in
+              let brow = i * a in
+              for j = 0 to a - 1 do
+                ubuf.(urow + (s * a) + j) <- bm.Mat.data.(brow + j)
+              done
+            done
+          done;
+          let x = Mat.unsafe_of_flat ~rows:nk ~cols:ak ubuf in
+          Chol.solve_lower_mat_inplace chol x;
+          Cbmf_parallel.Pool.parallel_for pool ~n:(Array.length pairs)
+            (fun pair_i ->
+              let k1, k2 = pairs.(pair_i) in
+              if comp.(k1) = comp.(k2) then begin
+                let acc = Array.make a 0.0 in
+                (* Column (s,j) of X is supported on rows ≥ s·N (the
+                   TRSM starts at the stack's first nonzero row), so
+                   the dot runs from row k2·N. *)
+                let c1 = k1 * a and c2 = k2 * a in
+                for i = k2 * n to nk - 1 do
+                  let xrow = i * ak in
+                  for j = 0 to a - 1 do
+                    acc.(j) <-
+                      acc.(j)
+                      +. (Array.unsafe_get ubuf (xrow + c1 + j)
+                         *. Array.unsafe_get ubuf (xrow + c2 + j))
+                  done
+                done;
                 for j = 0 to a - 1 do
-                  zbuf.Mat.data.(zrow + j) <-
-                    zbuf.Mat.data.(zrow + j)
-                    +. (gv *. b2.Mat.data.(brow + j))
+                  Mat.set w.(j) k1 k2 acc.(j);
+                  if k1 <> k2 then Mat.set w.(j) k2 k1 acc.(j)
                 done
-              end
-            done
-          done;
-          let b1 = b_act.(k1) in
-          let acc = Array.make a 0.0 in
-          for i = 0 to n - 1 do
-            let brow = i * a and zrow = i * a in
-            for j = 0 to a - 1 do
-              acc.(j) <-
-                acc.(j) +. (b1.Mat.data.(brow + j) *. zbuf.Mat.data.(zrow + j))
-            done
-          done;
-          for j = 0 to a - 1 do
-            Mat.set w.(j) k1 k2 acc.(j);
-            if k1 <> k2 then Mat.set w.(j) k2 k1 acc.(j)
-          done);
+              end);
+          trace_ginv
+        end
+        else begin
+          let linv_t = Chol.lower_inverse_t chol in
+          (* Tr(G⁻¹) = ‖L⁻¹‖_F² comes free from the same factor. *)
+          let trace_ginv = ref 0.0 in
+          Array.iter
+            (fun x -> trace_ginv := !trace_ginv +. (x *. x))
+            linv_t.Mat.data;
+          let ginv = Mat.syrk_nt linv_t in
+          Cbmf_parallel.Pool.parallel_for pool ~n:(Array.length pairs)
+            (fun pair_i ->
+              let k1, k2 = pairs.(pair_i) in
+              if comp.(k1) = comp.(k2) then begin
+                let gblk =
+                  Mat.submatrix ginv ~row0:(k1 * n) ~col0:(k2 * n) ~rows:n
+                    ~cols:n
+                in
+                let z = Mat.matmul gblk b_act.(k2) in
+                let b1 = b_act.(k1).Mat.data and zd = z.Mat.data in
+                let acc = Array.make a 0.0 in
+                for i = 0 to n - 1 do
+                  let row = i * a in
+                  for j = 0 to a - 1 do
+                    acc.(j) <-
+                      acc.(j)
+                      +. (Array.unsafe_get b1 (row + j)
+                         *. Array.unsafe_get zd (row + j))
+                  done
+                done;
+                for j = 0 to a - 1 do
+                  Mat.set w.(j) k1 k2 acc.(j);
+                  if k1 <> k2 then Mat.set w.(j) k2 k1 acc.(j)
+                done
+              end);
+          !trace_ginv
+        end
+      in
       let blocks =
         Array.mapi
           (fun j col ->
             let lam = prior.Prior.lambda.(col) in
             let rw = Mat.matmul prior.Prior.r w.(j) in
             let rwr = Mat.matmul rw prior.Prior.r in
-            let s = Mat.sub (Mat.scale lam prior.Prior.r) (Mat.scale (lam *. lam) rwr) in
+            let s =
+              Mat.sub (Mat.scale lam prior.Prior.r)
+                (Mat.scale (lam *. lam) rwr)
+            in
             Mat.symmetrize_inplace s;
             (col, s))
           active
@@ -195,12 +315,12 @@ let compute ?(need_sigma = true) (d : Dataset.t) (prior : Prior.t) ~active =
     assert (state >= 0 && state < k);
     assert (Array.length b = m);
     let mean = ref 0.0 in
-    Array.iter (fun col -> mean := !mean +. (b.(col) *. Mat.get mu col state)) active;
+    Array.iter
+      (fun col -> mean := !mean +. (b.(col) *. Mat.get mu col state))
+      active;
     let t_act = Array.map (fun col -> prior.Prior.lambda.(col) *. b.(col)) active in
     let a_aa = ref 0.0 in
-    Array.iteri
-      (fun j col -> a_aa := !a_aa +. (t_act.(j) *. b.(col)))
-      active;
+    Array.iteri (fun j col -> a_aa := !a_aa +. (t_act.(j) *. b.(col))) active;
     let a_aa = Mat.get prior.Prior.r state state *. !a_aa in
     let w = Array.make nk 0.0 in
     for s = 0 to k - 1 do
@@ -225,11 +345,212 @@ let compute ?(need_sigma = true) (d : Dataset.t) (prior : Prior.t) ~active =
     sigma_blocks;
     active;
     nlml;
-    resid_sq = !resid_sq;
+    resid_sq;
     trace_ginv;
     nk;
+    path = `Dual;
     predictive;
   }
+
+(* --- Primal (Woodbury) path: (aK)-sized system ----------------------
+   In the post-pruning regime aK < NK it is cheaper to solve through
+   P = A⁻¹ + σ0⁻²·DᵀD (the (aK)×(aK) primal normal matrix) than
+   through the NK×NK marginal Gram:
+
+     μ_w       = σ0⁻²·P⁻¹·Dᵀy                    (Woodbury)
+     Σ_w       = P⁻¹                              (posterior covariance)
+     yᵀG⁻¹y    = σ0⁻²·(yᵀy − (Dᵀy)ᵀ μ_w)
+     log det G = 2NK·log σ0 + log det A + log det P   (determinant lemma)
+     Tr(G⁻¹)   = σ0⁻²·(NK − σ0⁻²·Σ_s ⟨B_sᵀB_s, P⁻¹_ss⟩)
+
+   With unknowns ordered state-major ((s,j) ↦ s·a+j):
+   A⁻¹[(s1,j),(s2,j)] = R⁻¹[s1,s2]/λ_j (diagonal across basis), and
+   DᵀD is block-diagonal across states with blocks B_sᵀB_s. *)
+
+let compute_primal ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
+    ~(b_act : Mat.t array) ~(lambda_act : Vec.t) =
+  let k = d.Dataset.n_states
+  and n = d.Dataset.n_samples
+  and m = d.Dataset.n_basis in
+  let a = Array.length active in
+  let nk = k * n in
+  let ak = a * k in
+  Array.iter (fun lam -> assert (lam > 0.0)) lambda_act;
+  let sigma0 = prior.Prior.sigma0 in
+  let inv_s2 = 1.0 /. (sigma0 *. sigma0) in
+  let r_chol = Chol.factorize_with_retry prior.Prior.r in
+  let r_inv = Chol.solve_mat r_chol (Mat.identity k) in
+  Mat.symmetrize_inplace r_inv;
+  let grams = Array.map Mat.gram b_act in
+  let p = Mat.create ak ak in
+  let pd = p.Mat.data in
+  for s1 = 0 to k - 1 do
+    for s2 = 0 to k - 1 do
+      let rinv12 = Mat.get r_inv s1 s2 in
+      if rinv12 <> 0.0 then
+        for j = 0 to a - 1 do
+          pd.((((s1 * a) + j) * ak) + (s2 * a) + j) <-
+            rinv12 /. lambda_act.(j)
+        done
+    done
+  done;
+  for s = 0 to k - 1 do
+    let gm = grams.(s) in
+    for j1 = 0 to a - 1 do
+      let prow = (((s * a) + j1) * ak) + (s * a) in
+      let grow = j1 * a in
+      for j2 = 0 to a - 1 do
+        pd.(prow + j2) <- pd.(prow + j2) +. (inv_s2 *. gm.Mat.data.(grow + j2))
+      done
+    done
+  done;
+  let p_chol = Chol.factorize_with_retry p in
+  let y = flat_response d ~into:(grab ws.y_buf nk) in
+  (* c = Dᵀy, state-major. *)
+  let c = Array.make ak 0.0 in
+  for s = 0 to k - 1 do
+    let bm = b_act.(s) in
+    for i = 0 to n - 1 do
+      let yi = y.((s * n) + i) in
+      if yi <> 0.0 then begin
+        let brow = i * a in
+        for j = 0 to a - 1 do
+          c.((s * a) + j) <- c.((s * a) + j) +. (yi *. bm.Mat.data.(brow + j))
+        done
+      end
+    done
+  done;
+  let mu_w = Chol.solve_vec p_chol c in
+  for i = 0 to ak - 1 do
+    mu_w.(i) <- inv_s2 *. mu_w.(i)
+  done;
+  let mu = Mat.create m k in
+  Array.iteri
+    (fun j col ->
+      for s = 0 to k - 1 do
+        Mat.set mu col s mu_w.((s * a) + j)
+      done)
+    active;
+  let resid_sq = residual_sq d ~b_act ~mu ~active ~y in
+  let y_ginv_y = inv_s2 *. (Vec.dot y y -. Vec.dot c mu_w) in
+  let log_det_a =
+    let acc = ref 0.0 in
+    for j = 0 to a - 1 do
+      acc := !acc +. log lambda_act.(j)
+    done;
+    (float_of_int k *. !acc) +. (float_of_int a *. Chol.log_det r_chol)
+  in
+  let log_det_g =
+    (2.0 *. float_of_int nk *. log sigma0) +. log_det_a +. Chol.log_det p_chol
+  in
+  let nlml = y_ginv_y +. log_det_g in
+  let sigma_blocks, trace_ginv =
+    if not need_sigma then ([||], 0.0)
+    else begin
+      (* Only two slivers of P⁻¹ are ever read — the j-diagonal K×K
+         blocks (Σ_m) and the state-diagonal a×a blocks (the trace) —
+         so skip the O((aK)³) dense inverse: with rows of [linv_t]
+         holding the columns of L⁻¹, each needed entry is one
+         contiguous row dot P⁻¹[u,v] = Σ_{w≥max(u,v)} L⁻¹[w,u]·L⁻¹[w,v]
+         on top of an O((aK)³/6) triangular inversion. *)
+      let linv_t = Chol.lower_inverse_t p_chol in
+      let ld = linv_t.Mat.data in
+      let pinv_entry u v =
+        let w0 = if u > v then u else v in
+        let ru = u * ak and rv = v * ak in
+        let s = ref 0.0 in
+        for w = w0 to ak - 1 do
+          s :=
+            !s
+            +. (Array.unsafe_get ld (ru + w) *. Array.unsafe_get ld (rv + w))
+        done;
+        !s
+      in
+      let blocks =
+        Array.mapi
+          (fun j col ->
+            let s = Mat.create k k in
+            for s1 = 0 to k - 1 do
+              for s2 = s1 to k - 1 do
+                let v = pinv_entry ((s1 * a) + j) ((s2 * a) + j) in
+                Mat.set s s1 s2 v;
+                if s1 <> s2 then Mat.set s s2 s1 v
+              done
+            done;
+            (col, s))
+          active
+      in
+      let tr_dp = ref 0.0 in
+      for s = 0 to k - 1 do
+        let gm = grams.(s) in
+        for j1 = 0 to a - 1 do
+          let grow = j1 * a in
+          let u = (s * a) + j1 in
+          tr_dp := !tr_dp +. (gm.Mat.data.(grow + j1) *. pinv_entry u u);
+          for j2 = j1 + 1 to a - 1 do
+            tr_dp :=
+              !tr_dp
+              +. (2.0 *. gm.Mat.data.(grow + j2)
+                 *. pinv_entry u ((s * a) + j2))
+          done
+        done
+      done;
+      let trace_ginv = inv_s2 *. (float_of_int nk -. (inv_s2 *. !tr_dp)) in
+      (blocks, trace_ginv)
+    end
+  in
+  (* The coefficient posterior covariance is P⁻¹ itself, so the
+     predictive variance of the functional f = Σ_j b_j·w[j,state] is a
+     direct (aK)-sized quadratic form — no NK-sized work. *)
+  let predictive ~state (b : Vec.t) =
+    assert (state >= 0 && state < k);
+    assert (Array.length b = m);
+    let mean = ref 0.0 in
+    Array.iter
+      (fun col -> mean := !mean +. (b.(col) *. Mat.get mu col state))
+      active;
+    let u = Array.make ak 0.0 in
+    Array.iteri (fun j col -> u.((state * a) + j) <- b.(col)) active;
+    let var = Chol.quad_inv p_chol u in
+    (!mean, Float.max var 0.0)
+  in
+  {
+    mu;
+    sigma_blocks;
+    active;
+    nlml;
+    resid_sq;
+    trace_ginv;
+    nk;
+    path = `Primal;
+    predictive;
+  }
+
+let compute ?(need_sigma = true) ?(path = `Auto) ?ws (d : Dataset.t)
+    (prior : Prior.t) ~active =
+  let k = d.Dataset.n_states
+  and n = d.Dataset.n_samples
+  and m = d.Dataset.n_basis in
+  assert (Prior.n_basis prior = m);
+  assert (Prior.n_states prior = k);
+  let a = Array.length active in
+  assert (a > 0);
+  Array.iter (fun i -> assert (i >= 0 && i < m)) active;
+  let ws = match ws with Some w -> w | None -> make_workspace () in
+  let b_act =
+    Array.map (fun bmat -> Mat.select_cols bmat active) d.Dataset.design
+  in
+  let lambda_act = Array.map (fun j -> prior.Prior.lambda.(j)) active in
+  let use_primal =
+    match path with
+    | `Primal -> true
+    | `Dual -> false
+    | `Auto ->
+        a * k < n * k && Array.for_all (fun lam -> lam > 0.0) lambda_act
+  in
+  if use_primal then
+    compute_primal ~need_sigma ws d prior ~active ~b_act ~lambda_act
+  else compute_dual ~need_sigma ws d prior ~active ~b_act ~lambda_act
 
 let coefficients t = Mat.transpose t.mu
 

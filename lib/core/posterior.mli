@@ -15,6 +15,12 @@
 open Cbmf_linalg
 open Cbmf_model
 
+type path = [ `Dual | `Primal ]
+(** Which linear system the posterior was solved through: [`Dual] is
+    the NK×NK marginal Gram G = σ0²I + DADᵀ; [`Primal] is the
+    (aK)×(aK) Woodbury system P = A⁻¹ + σ0⁻²DᵀD, cheaper in the
+    post-pruning regime aK < NK. *)
+
 type t = {
   mu : Mat.t;  (** M×K posterior mean; row m is μ_m (zero if inactive) *)
   sigma_blocks : (int * Mat.t) array;
@@ -24,6 +30,7 @@ type t = {
   resid_sq : float;  (** ‖y − D·μ‖² *)
   trace_ginv : float;  (** Tr(G⁻¹) (0 when covariance not requested) *)
   nk : int;
+  path : path;  (** solver path actually taken *)
   predictive : state:int -> Vec.t -> float * float;
       (** [(mean, variance)] of the latent model value for one basis row
           (length M, same units as the training design) at one state.
@@ -32,13 +39,34 @@ type t = {
           add σ0² for the observation noise. *)
 }
 
+type workspace
+(** Reusable buffers for the large per-solve allocations (NK×NK Gram
+    assembly, flat response, NK×aK stacked TRSM).  Thread one
+    workspace through repeated [compute] calls (as {!Em.run} does) and
+    the allocation churn drops to ~zero after the first call.  Nothing
+    in the returned {!t} aliases the workspace, so earlier results stay
+    valid when it is reused. *)
+
+val make_workspace : unit -> workspace
+
 val compute :
-  ?need_sigma:bool -> Dataset.t -> Prior.t -> active:int array -> t
+  ?need_sigma:bool ->
+  ?path:[ `Auto | `Dual | `Primal ] ->
+  ?ws:workspace ->
+  Dataset.t ->
+  Prior.t ->
+  active:int array ->
+  t
 (** [compute data prior ~active] evaluates the posterior restricted to
     the active basis set (inactive λ are treated as exactly 0).
-    [need_sigma] (default true) additionally computes G⁻¹, the Σ_m
-    blocks and Tr(G⁻¹) — needed by the EM M-step but not by
-    MAP-coefficient extraction. *)
+    [need_sigma] (default true) additionally computes the Σ_m blocks
+    and Tr(G⁻¹) — needed by the EM M-step but not by MAP-coefficient
+    extraction.  [path] (default [`Auto]) selects the solver: [`Auto]
+    takes the primal (Woodbury) path when aK < NK and every active λ
+    is strictly positive, the dual path otherwise; forcing [`Primal]
+    requires every active λ > 0.  Both paths agree with {!naive_dense}
+    to solver precision.  [ws] supplies reusable buffers (see
+    {!workspace}). *)
 
 val coefficients : t -> Mat.t
 (** K×M coefficient matrix (the MAP solution of eq. 22, transposed

@@ -80,12 +80,96 @@ let solve_vec f b = backward_sub_t f (forward_sub f b)
 
 let solve_lower = forward_sub
 
+(* Multi-RHS triangular solves (TRSM).  Columns are processed in
+   panels so the substitution streams whole rows of the panel —
+   contiguous in the row-major layout — instead of strided single
+   columns.  The forward solve skips every row above the first nonzero
+   of the panel: for an RHS whose column [c] starts at row [r] (e.g. a
+   block-diagonal stacked design, or an identity) rows [< r] of the
+   solution are exactly zero and never touched. *)
+let panel_cols = 32
+
+let solve_lower_mat_inplace f (x : Mat.t) =
+  assert (x.Mat.rows = f.n);
+  let n = f.n and nc = x.Mat.cols in
+  let xd = x.Mat.data and l = f.l in
+  let c0 = ref 0 in
+  while !c0 < nc do
+    let c1 = Stdlib.min nc (!c0 + panel_cols) in
+    let lo = !c0 and hi = c1 - 1 in
+    (* First row with a nonzero entry in this panel. *)
+    let start = ref 0 in
+    (let continue_ = ref true in
+     while !continue_ && !start < n do
+       let row = !start * nc in
+       let nonzero = ref false in
+       for c = lo to hi do
+         if Array.unsafe_get xd (row + c) <> 0.0 then nonzero := true
+       done;
+       if !nonzero then continue_ := false else incr start
+     done);
+    for r = !start to n - 1 do
+      let lrow = r * n in
+      let xrow = r * nc in
+      for k = !start to r - 1 do
+        let lrk = Array.unsafe_get l (lrow + k) in
+        if lrk <> 0.0 then begin
+          let krow = k * nc in
+          for c = lo to hi do
+            Array.unsafe_set xd (xrow + c)
+              (Array.unsafe_get xd (xrow + c)
+              -. (lrk *. Array.unsafe_get xd (krow + c)))
+          done
+        end
+      done;
+      let d = Array.unsafe_get l (lrow + r) in
+      for c = lo to hi do
+        Array.unsafe_set xd (xrow + c) (Array.unsafe_get xd (xrow + c) /. d)
+      done
+    done;
+    c0 := c1
+  done
+
+let solve_lower_mat f b =
+  let x = Mat.copy b in
+  solve_lower_mat_inplace f x;
+  x
+
+(* Backward panel solve lᵀ X = Z, in place. *)
+let solve_upper_t_mat_inplace f (x : Mat.t) =
+  assert (x.Mat.rows = f.n);
+  let n = f.n and nc = x.Mat.cols in
+  let xd = x.Mat.data and l = f.l in
+  let c0 = ref 0 in
+  while !c0 < nc do
+    let c1 = Stdlib.min nc (!c0 + panel_cols) in
+    let lo = !c0 and hi = c1 - 1 in
+    for r = n - 1 downto 0 do
+      let xrow = r * nc in
+      for k = r + 1 to n - 1 do
+        let lkr = Array.unsafe_get l ((k * n) + r) in
+        if lkr <> 0.0 then begin
+          let krow = k * nc in
+          for c = lo to hi do
+            Array.unsafe_set xd (xrow + c)
+              (Array.unsafe_get xd (xrow + c)
+              -. (lkr *. Array.unsafe_get xd (krow + c)))
+          done
+        end
+      done;
+      let d = Array.unsafe_get l ((r * n) + r) in
+      for c = lo to hi do
+        Array.unsafe_set xd (xrow + c) (Array.unsafe_get xd (xrow + c) /. d)
+      done
+    done;
+    c0 := c1
+  done
+
 let solve_mat f (b : Mat.t) =
   assert (b.Mat.rows = f.n);
-  let x = Mat.create f.n b.Mat.cols in
-  for j = 0 to b.Mat.cols - 1 do
-    Mat.set_col x j (solve_vec f (Mat.col b j))
-  done;
+  let x = Mat.copy b in
+  solve_lower_mat_inplace f x;
+  solve_upper_t_mat_inplace f x;
   x
 
 let inverse f =
@@ -126,6 +210,27 @@ let trace_inverse f =
     done
   done;
   !acc
+
+let lower_inverse_t f =
+  (* Row u of the result is l⁻¹·e_u, i.e. the result is (l⁻¹)ᵀ.  The
+     solve for e_u only touches components ≥ u, so each row write is
+     contiguous and the total cost is Σ_u (n−u)²/2 = n³/6. *)
+  let n = f.n in
+  let out = Mat.create n n in
+  let od = out.Mat.data in
+  for u = 0 to n - 1 do
+    let row = u * n in
+    od.(row + u) <- 1.0 /. f.l.((u * n) + u);
+    for r = u + 1 to n - 1 do
+      let lrow = r * n in
+      let s = ref 0.0 in
+      for w = u to r - 1 do
+        s := !s -. (f.l.(lrow + w) *. od.(row + w))
+      done;
+      od.(row + r) <- !s /. f.l.(lrow + r)
+    done
+  done;
+  out
 
 let mahalanobis_sq f x mu = quad_inv f (Vec.sub x mu)
 

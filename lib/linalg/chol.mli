@@ -31,11 +31,23 @@ val solve_vec : t -> Vec.t -> Vec.t
 (** [solve_vec f b] solves [a x = b]. *)
 
 val solve_mat : t -> Mat.t -> Mat.t
-(** [solve_mat f b] solves [a x = b] column-wise. *)
+(** [solve_mat f b] solves [a x = b] for all columns at once via
+    panel-blocked forward + backward substitution. *)
 
 val solve_lower : t -> Vec.t -> Vec.t
 (** [solve_lower f b] solves [l z = b] (forward substitution only);
     useful for whitening since [zᵀz = bᵀ a⁻¹ b]. *)
+
+val solve_lower_mat : t -> Mat.t -> Mat.t
+(** [solve_lower_mat f b] solves [l x = b] for all columns at once
+    (multi-RHS TRSM).  Columns are processed in panels that stream
+    contiguous rows; leading all-zero rows of a panel are skipped, so
+    sparse stacked right-hand sides (block-diagonal designs, identity
+    columns) pay only for their nonzero row range. *)
+
+val solve_lower_mat_inplace : t -> Mat.t -> unit
+(** In-place variant of {!solve_lower_mat}: overwrites [b] with the
+    solution (no allocation — for workspace-reusing hot paths). *)
 
 val inverse : t -> Mat.t
 (** [a⁻¹] (symmetric). *)
@@ -50,6 +62,12 @@ val quad_inv : t -> Vec.t -> float
 
 val trace_inverse : t -> float
 (** [Tr(a⁻¹)] in O(n³/3) without forming the inverse. *)
+
+val lower_inverse_t : t -> Mat.t
+(** [(l⁻¹)ᵀ] as a dense matrix: row [u] holds [l⁻¹·e_u] (supported on
+    columns ≥ u), computed in O(n³/6).  Selected entries of [a⁻¹] are
+    then contiguous row dots, [a⁻¹[u,v] = Σ_w out[u,w]·out[v,w]] —
+    cheaper than a full inverse when only a few entries are needed. *)
 
 val mahalanobis_sq : t -> Vec.t -> Vec.t -> float
 (** [mahalanobis_sq f x mu] is [(x-mu)ᵀ a⁻¹ (x-mu)]. *)

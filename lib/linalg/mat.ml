@@ -116,9 +116,13 @@ let add_diag_inplace a c =
     a.data.((i * a.cols) + i) <- a.data.((i * a.cols) + i) +. c
   done
 
-(* Triple-loop matmul in i-k-j order so the inner loop streams rows of
-   both the accumulator and [b]: cache-friendly without blocking. *)
-let matmul a b =
+(* --- GEMM kernels --------------------------------------------------
+   Cache-blocked / register-blocked triple loops.  The naive variants
+   are kept (suffix [_naive]) as oracles for the kernel tests and as
+   "before" baselines for the bench harness; they must stay
+   numerically equivalent (same sums, possibly different rounding). *)
+
+let matmul_naive a b =
   assert (a.cols = b.rows);
   let m = a.rows and n = b.cols and p = a.cols in
   let c = Array.make (m * n) 0.0 in
@@ -140,7 +144,7 @@ let matmul a b =
   done;
   { rows = m; cols = n; data = c }
 
-let matmul_nt a b =
+let matmul_nt_naive a b =
   assert (a.cols = b.cols);
   let m = a.rows and n = b.rows and p = a.cols in
   let c = Array.make (m * n) 0.0 in
@@ -160,14 +164,159 @@ let matmul_nt a b =
   done;
   { rows = m; cols = n; data = c }
 
+(* Tile sizes: a [tile_k]×[tile_j] panel of [b] (8·64·256 = 128 KB)
+   stays L2-resident while a full sweep of [a]'s rows streams over
+   it; within a panel the k loop is unrolled 4× so each accumulator
+   row element is loaded/stored once per four multiply-adds. *)
+let tile_k = 64
+
+let tile_j = 256
+
+let matmul a b =
+  assert (a.cols = b.rows);
+  let m = a.rows and n = b.cols and p = a.cols in
+  let c = Array.make (m * n) 0.0 in
+  let ad = a.data and bd = b.data in
+  let k0 = ref 0 in
+  while !k0 < p do
+    let k1 = Stdlib.min p (!k0 + tile_k) in
+    let j0 = ref 0 in
+    while !j0 < n do
+      let j1 = Stdlib.min n (!j0 + tile_j) in
+      let jlo = !j0 and jhi = j1 - 1 in
+      for i = 0 to m - 1 do
+        let arow = i * p in
+        let crow = i * n in
+        let k = ref !k0 in
+        while !k + 3 < k1 do
+          let kk = !k in
+          let a0 = Array.unsafe_get ad (arow + kk)
+          and a1 = Array.unsafe_get ad (arow + kk + 1)
+          and a2 = Array.unsafe_get ad (arow + kk + 2)
+          and a3 = Array.unsafe_get ad (arow + kk + 3) in
+          if a0 <> 0.0 || a1 <> 0.0 || a2 <> 0.0 || a3 <> 0.0 then begin
+            let b0 = kk * n
+            and b1 = (kk + 1) * n
+            and b2 = (kk + 2) * n
+            and b3 = (kk + 3) * n in
+            for j = jlo to jhi do
+              Array.unsafe_set c (crow + j)
+                (Array.unsafe_get c (crow + j)
+                +. (a0 *. Array.unsafe_get bd (b0 + j))
+                +. (a1 *. Array.unsafe_get bd (b1 + j))
+                +. (a2 *. Array.unsafe_get bd (b2 + j))
+                +. (a3 *. Array.unsafe_get bd (b3 + j)))
+            done
+          end;
+          k := kk + 4
+        done;
+        while !k < k1 do
+          let kk = !k in
+          let aik = Array.unsafe_get ad (arow + kk) in
+          if aik <> 0.0 then begin
+            let brow = kk * n in
+            for j = jlo to jhi do
+              Array.unsafe_set c (crow + j)
+                (Array.unsafe_get c (crow + j)
+                +. (aik *. Array.unsafe_get bd (brow + j)))
+            done
+          end;
+          k := kk + 1
+        done
+      done;
+      j0 := j1
+    done;
+    k0 := k1
+  done;
+  { rows = m; cols = n; data = c }
+
+(* Dot-product kernel with 2×2 register blocking: each loaded element
+   of [a] (resp. [b]) feeds two accumulators, halving the loads per
+   multiply-add relative to the naive row-dot. *)
+let matmul_nt a b =
+  assert (a.cols = b.cols);
+  let m = a.rows and n = b.rows and p = a.cols in
+  let c = Array.make (m * n) 0.0 in
+  let ad = a.data and bd = b.data in
+  let dot arow brow =
+    let acc = ref 0.0 in
+    for k = 0 to p - 1 do
+      acc :=
+        !acc
+        +. (Array.unsafe_get ad (arow + k) *. Array.unsafe_get bd (brow + k))
+    done;
+    !acc
+  in
+  let i = ref 0 in
+  while !i + 1 < m do
+    let i0 = !i in
+    let ar0 = i0 * p and ar1 = (i0 + 1) * p in
+    let cr0 = i0 * n and cr1 = (i0 + 1) * n in
+    let j = ref 0 in
+    while !j + 1 < n do
+      let jj = !j in
+      let br0 = jj * p and br1 = (jj + 1) * p in
+      let s00 = ref 0.0 and s01 = ref 0.0 and s10 = ref 0.0 and s11 = ref 0.0 in
+      for k = 0 to p - 1 do
+        let a0 = Array.unsafe_get ad (ar0 + k)
+        and a1 = Array.unsafe_get ad (ar1 + k)
+        and b0 = Array.unsafe_get bd (br0 + k)
+        and b1 = Array.unsafe_get bd (br1 + k) in
+        s00 := !s00 +. (a0 *. b0);
+        s01 := !s01 +. (a0 *. b1);
+        s10 := !s10 +. (a1 *. b0);
+        s11 := !s11 +. (a1 *. b1)
+      done;
+      Array.unsafe_set c (cr0 + jj) !s00;
+      Array.unsafe_set c (cr0 + jj + 1) !s01;
+      Array.unsafe_set c (cr1 + jj) !s10;
+      Array.unsafe_set c (cr1 + jj + 1) !s11;
+      j := jj + 2
+    done;
+    if !j < n then begin
+      let br = !j * p in
+      Array.unsafe_set c (cr0 + !j) (dot ar0 br);
+      Array.unsafe_set c (cr1 + !j) (dot ar1 br)
+    end;
+    i := i0 + 2
+  done;
+  if !i < m then begin
+    let ar = !i * p and cr = !i * n in
+    for j = 0 to n - 1 do
+      Array.unsafe_set c (cr + j) (dot ar (j * p))
+    done
+  end;
+  { rows = m; cols = n; data = c }
+
 let matmul_tn a b =
   assert (a.rows = b.rows);
   let m = a.cols and n = b.cols and p = a.rows in
   let c = Array.make (m * n) 0.0 in
   let ad = a.data and bd = b.data in
-  for k = 0 to p - 1 do
-    let arow = k * m in
-    let brow = k * n in
+  (* axpy kernel, k (shared rows) unrolled 2× so each accumulator row
+     element is touched once per two multiply-adds. *)
+  let k = ref 0 in
+  while !k + 1 < p do
+    let kk = !k in
+    let ar0 = kk * m and ar1 = (kk + 1) * m in
+    let br0 = kk * n and br1 = (kk + 1) * n in
+    for i = 0 to m - 1 do
+      let a0 = Array.unsafe_get ad (ar0 + i)
+      and a1 = Array.unsafe_get ad (ar1 + i) in
+      if a0 <> 0.0 || a1 <> 0.0 then begin
+        let crow = i * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set c (crow + j)
+            (Array.unsafe_get c (crow + j)
+            +. (a0 *. Array.unsafe_get bd (br0 + j))
+            +. (a1 *. Array.unsafe_get bd (br1 + j)))
+        done
+      end
+    done;
+    k := kk + 2
+  done;
+  if !k < p then begin
+    let arow = !k * m and brow = !k * n in
     for i = 0 to m - 1 do
       let aki = Array.unsafe_get ad (arow + i) in
       if aki <> 0.0 then begin
@@ -179,7 +328,94 @@ let matmul_tn a b =
         done
       end
     done
+  end;
+  { rows = m; cols = n; data = c }
+
+(* Symmetric rank-k updates: only the upper triangle is accumulated,
+   then mirrored — half the multiply-adds of the general product. *)
+let syrk_tn a =
+  let p = a.rows and n = a.cols in
+  let c = Array.make (n * n) 0.0 in
+  let ad = a.data in
+  for k = 0 to p - 1 do
+    let arow = k * n in
+    for i = 0 to n - 1 do
+      let aki = Array.unsafe_get ad (arow + i) in
+      if aki <> 0.0 then begin
+        let crow = i * n in
+        for j = i to n - 1 do
+          Array.unsafe_set c (crow + j)
+            (Array.unsafe_get c (crow + j)
+            +. (aki *. Array.unsafe_get ad (arow + j)))
+        done
+      end
+    done
   done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Array.unsafe_set c ((j * n) + i) (Array.unsafe_get c ((i * n) + j))
+    done
+  done;
+  { rows = n; cols = n; data = c }
+
+let syrk_nt a =
+  let m = a.rows and p = a.cols in
+  let c = Array.make (m * m) 0.0 in
+  let ad = a.data in
+  for i = 0 to m - 1 do
+    let arow = i * p in
+    for j = i to m - 1 do
+      let brow = j * p in
+      let acc = ref 0.0 in
+      for k = 0 to p - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get ad (arow + k) *. Array.unsafe_get ad (brow + k))
+      done;
+      Array.unsafe_set c ((i * m) + j) !acc;
+      Array.unsafe_set c ((j * m) + i) !acc
+    done
+  done;
+  { rows = m; cols = m; data = c }
+
+(* Fused weighted product a·diag(w)·bᵀ.  The weighted row of [a] is
+   staged once per i into a scratch panel, so no sqrt/scaled copy of
+   either operand is ever materialized (this is what lets the G
+   assembly drop its scaled design copies).  When [a] and [b] are
+   physically the same matrix the result is symmetric and only the
+   upper triangle is computed. *)
+let matmul_nt_weighted a w b =
+  assert (a.cols = b.cols && Array.length w = a.cols);
+  let m = a.rows and n = b.rows and p = a.cols in
+  let c = Array.make (m * n) 0.0 in
+  let ad = a.data and bd = b.data in
+  let t = Array.make p 0.0 in
+  let symmetric = ad == bd && m = n in
+  for i = 0 to m - 1 do
+    let arow = i * p in
+    for k = 0 to p - 1 do
+      Array.unsafe_set t k
+        (Array.unsafe_get ad (arow + k) *. Array.unsafe_get w k)
+    done;
+    let crow = i * n in
+    let jlo = if symmetric then i else 0 in
+    for j = jlo to n - 1 do
+      let brow = j * p in
+      let acc = ref 0.0 in
+      for k = 0 to p - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get t k *. Array.unsafe_get bd (brow + k))
+      done;
+      Array.unsafe_set c (crow + j) !acc
+    done
+  done;
+  if symmetric then
+    for i = 0 to m - 1 do
+      for j = i + 1 to n - 1 do
+        Array.unsafe_set c ((j * n) + i) (Array.unsafe_get c ((i * n) + j))
+      done
+    done;
   { rows = m; cols = n; data = c }
 
 let mat_vec a x =
@@ -211,7 +447,7 @@ let mat_tvec a x =
   done;
   y
 
-let gram a = matmul_tn a a
+let gram a = syrk_tn a
 
 let outer x y =
   init (Array.length x) (Array.length y) (fun i j -> x.(i) *. y.(j))

@@ -89,13 +89,33 @@ val add_diag_inplace : t -> float -> unit
 (** Add a constant to the main diagonal (ridge/jitter). *)
 
 val matmul : t -> t -> t
-(** [matmul a b] is [a * b]. *)
+(** [matmul a b] is [a * b] (cache-blocked, k-unrolled kernel). *)
 
 val matmul_nt : t -> t -> t
-(** [matmul_nt a b] is [a * bᵀ]. *)
+(** [matmul_nt a b] is [a * bᵀ] (2×2 register-blocked dot kernel). *)
 
 val matmul_tn : t -> t -> t
-(** [matmul_tn a b] is [aᵀ * b]. *)
+(** [matmul_tn a b] is [aᵀ * b] (2×-unrolled axpy kernel). *)
+
+val matmul_naive : t -> t -> t
+(** Reference triple-loop [a * b]: oracle for the blocked kernels and
+    "before" baseline for the bench harness. *)
+
+val matmul_nt_naive : t -> t -> t
+(** Reference row-dot [a * bᵀ] (see {!matmul_naive}). *)
+
+val syrk_tn : t -> t
+(** [syrk_tn a] is the symmetric rank-k update [aᵀ a], computing only
+    the upper triangle and mirroring — half the work of {!matmul_tn}. *)
+
+val syrk_nt : t -> t
+(** [syrk_nt a] is [a aᵀ], upper triangle only then mirrored. *)
+
+val matmul_nt_weighted : t -> Vec.t -> t -> t
+(** [matmul_nt_weighted a w b] is [a · diag(w) · bᵀ] with the weighting
+    fused into the kernel (no scaled copy of [a] or [b] is formed).
+    When [a] and [b] are physically the same matrix only the upper
+    triangle is computed and mirrored. *)
 
 val mat_vec : t -> Vec.t -> Vec.t
 (** [mat_vec a x] is [a x]. *)

@@ -21,6 +21,61 @@ let test_solve_mat () =
   let b = Mat.matmul a x in
   mat_close ~tol:1e-7 "solve_mat" x (Chol.solve_mat f b)
 
+let test_solve_lower_mat () =
+  (* Sizes straddle the 32-column panel width. *)
+  List.iter
+    (fun (n, nc) ->
+      let a = random_spd n in
+      let f = Chol.factorize a in
+      let b = random_mat n nc in
+      let x = Chol.solve_lower_mat f b in
+      let l = Chol.lower f in
+      mat_close ~tol:1e-7
+        (Printf.sprintf "l·x = b (%dx%d)" n nc)
+        b (Mat.matmul l x);
+      (* Column-wise reference. *)
+      for j = 0 to nc - 1 do
+        vec_close ~tol:1e-9
+          (Printf.sprintf "col %d = solve_lower" j)
+          (Chol.solve_lower f (Mat.col b j))
+          (Mat.col x j)
+      done)
+    [ (6, 3); (9, 33); (5, 64) ]
+
+let test_solve_lower_mat_sparse_rhs () =
+  (* Leading zero rows (a stacked block-diagonal RHS) must give the
+     exact column-wise solution — the panel skip starts mid-matrix. *)
+  let n = 8 in
+  let a = random_spd n in
+  let f = Chol.factorize a in
+  let b = Mat.init n 4 (fun i j -> if i >= 5 then float_of_int (i + j) else 0.0) in
+  let x = Chol.solve_lower_mat f b in
+  for j = 0 to 3 do
+    vec_close ~tol:1e-9 "sparse rhs col"
+      (Chol.solve_lower f (Mat.col b j))
+      (Mat.col x j)
+  done;
+  (* Rows above the first nonzero stay exactly zero. *)
+  for i = 0 to 4 do
+    for j = 0 to 3 do
+      check_float "leading zero rows" 0.0 (Mat.get x i j)
+    done
+  done
+
+let test_lower_inverse_t () =
+  let a = random_spd 7 in
+  let f = Chol.factorize a in
+  let linv_t = Chol.lower_inverse_t f in
+  let l = Chol.lower f in
+  (* Rows of linv_t are the columns of l⁻¹: l·(linv_t)ᵀ = I. *)
+  mat_close ~tol:1e-8 "l·(linv_t)ᵀ = I" (Mat.identity 7)
+    (Mat.matmul_nt l linv_t);
+  (* a⁻¹ = (linv_t)·(linv_t)ᵀ, and ‖linv_t‖_F² = Tr(a⁻¹). *)
+  mat_close ~tol:1e-8 "linv_t·linv_tᵀ = a⁻¹" (Chol.inverse f)
+    (Mat.syrk_nt linv_t);
+  check_float ~tol:1e-8 "frobenius² = trace_inverse" (Chol.trace_inverse f)
+    (Mat.frobenius linv_t ** 2.0)
+
 let test_inverse () =
   let a = random_spd 5 in
   let inv = Chol.inverse (Chol.factorize a) in
@@ -127,7 +182,10 @@ let suite =
       [ case "reconstruct" test_reconstruct;
         case "solve" test_solve;
         case "solve_mat" test_solve_mat;
+        case "solve_lower_mat" test_solve_lower_mat;
+        case "solve_lower_mat sparse rhs" test_solve_lower_mat_sparse_rhs;
         case "inverse" test_inverse;
+        case "lower_inverse_t" test_lower_inverse_t;
         case "logdet/det" test_logdet;
         case "quad_inv" test_quad_inv;
         case "trace_inverse" test_trace_inverse;

@@ -112,12 +112,56 @@ let prop_trace_cyclic =
       abs_float (Mat.trace (Mat.matmul a b) -. Mat.trace (Mat.matmul b a))
       <= 1e-8)
 
+(* The blocked kernels must agree with the naive triple loops on
+   shapes that exercise every tile/unroll remainder (sizes around the
+   4× k-unroll, the 2×2 register block, and odd dimensions). *)
+let test_blocked_vs_naive () =
+  List.iter
+    (fun (m, p, n) ->
+      let a = random_mat m p and b = random_mat p n in
+      mat_close ~tol:1e-10
+        (Printf.sprintf "matmul blocked = naive (%dx%dx%d)" m p n)
+        (Mat.matmul_naive a b) (Mat.matmul a b);
+      let bt = random_mat n p in
+      mat_close ~tol:1e-10
+        (Printf.sprintf "matmul_nt blocked = naive (%dx%dx%d)" m p n)
+        (Mat.matmul_nt_naive a bt) (Mat.matmul_nt a bt);
+      let c = random_mat m n in
+      mat_close ~tol:1e-10
+        (Printf.sprintf "matmul_tn blocked = naive (%dx%dx%d)" m p n)
+        (Mat.matmul_naive (Mat.transpose a) c)
+        (Mat.matmul_tn a c))
+    [ (1, 1, 1); (2, 3, 2); (3, 5, 7); (5, 4, 1); (8, 8, 8); (9, 13, 11);
+      (1, 9, 6); (17, 66, 5) ]
+
+let test_syrk () =
+  let a = random_mat 7 4 in
+  mat_close ~tol:1e-10 "syrk_tn = aᵀa" (Mat.matmul_tn a a) (Mat.syrk_tn a);
+  mat_close ~tol:1e-10 "syrk_nt = aaᵀ" (Mat.matmul_nt a a) (Mat.syrk_nt a);
+  check_true "syrk_tn symmetric" (Mat.is_symmetric (Mat.syrk_tn a));
+  check_true "syrk_nt symmetric" (Mat.is_symmetric (Mat.syrk_nt a))
+
+let test_matmul_nt_weighted () =
+  let a = random_mat 5 6 and b = random_mat 4 6 in
+  let w = Array.init 6 (fun i -> 0.5 +. (0.25 *. float_of_int i)) in
+  let scaled = Mat.init 5 6 (fun i j -> Mat.get a i j *. w.(j)) in
+  mat_close ~tol:1e-10 "a·diag(w)·bᵀ" (Mat.matmul_nt scaled b)
+    (Mat.matmul_nt_weighted a w b);
+  (* Same physical matrix on both sides: symmetric fast path. *)
+  let aw = Mat.matmul_nt_weighted a w a in
+  let scaled_a = Mat.init 5 6 (fun i j -> Mat.get a i j *. w.(j)) in
+  mat_close ~tol:1e-10 "a·diag(w)·aᵀ" (Mat.matmul_nt scaled_a a) aw;
+  check_true "weighted self symmetric" (Mat.is_symmetric aw)
+
 let suite =
   [ ( "linalg.mat",
       [ case "identity" test_identity;
         case "transpose" test_transpose;
         case "matmul associativity" test_matmul_assoc;
         case "matmul_nt/tn" test_matmul_variants;
+        case "blocked kernels = naive" test_blocked_vs_naive;
+        case "syrk" test_syrk;
+        case "matmul_nt_weighted" test_matmul_nt_weighted;
         case "mat_vec/mat_tvec" test_mat_vec;
         case "gram" test_gram;
         case "rows/cols" test_rows_cols;
