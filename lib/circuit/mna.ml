@@ -26,39 +26,54 @@ let fresh_node ckt name =
 
 let node_count ckt = ckt.n_nodes
 
+(* Input validation raises [Invalid_argument] naming the offending
+   node/element — [assert] would vanish under [-noassert], letting
+   release builds stamp garbage netlists into the MNA system. *)
+let check_node ckt ~elem n =
+  if n < 0 || n >= ckt.n_nodes then
+    invalid_arg
+      (Printf.sprintf "Mna.%s: node %d out of range [0, %d)" elem n
+         ckt.n_nodes)
+
+let check_value ~elem ~what ?(strict = false) v =
+  if (not (Float.is_finite v)) || (if strict then v <= 0.0 else v < 0.0) then
+    invalid_arg
+      (Printf.sprintf "Mna.%s: %s %g must be %s and finite" elem what v
+         (if strict then "positive" else "non-negative"))
+
 let node_name ckt n =
-  assert (n >= 0 && n < ckt.n_nodes);
+  check_node ckt ~elem:"node_name" n;
   if n = 0 then "gnd" else List.nth ckt.names (ckt.n_nodes - 1 - n)
 
-let check_node ckt n = assert (n >= 0 && n < ckt.n_nodes)
-
 let conductance ckt a b g =
-  check_node ckt a;
-  check_node ckt b;
-  assert (g >= 0.0);
+  check_node ckt ~elem:"conductance" a;
+  check_node ckt ~elem:"conductance" b;
+  check_value ~elem:"conductance" ~what:"conductance" g;
   ckt.elements <- Conductance (a, b, g) :: ckt.elements
 
 let resistor ckt a b r =
-  assert (r > 0.0);
+  check_value ~elem:"resistor" ~what:"resistance" ~strict:true r;
   conductance ckt a b (1.0 /. r)
 
 let capacitor ckt a b c =
-  check_node ckt a;
-  check_node ckt b;
-  assert (c >= 0.0);
+  check_node ckt ~elem:"capacitor" a;
+  check_node ckt ~elem:"capacitor" b;
+  check_value ~elem:"capacitor" ~what:"capacitance" c;
   ckt.elements <- Capacitance (a, b, c) :: ckt.elements
 
 let inductor ckt a b l =
-  check_node ckt a;
-  check_node ckt b;
-  assert (l > 0.0);
+  check_node ckt ~elem:"inductor" a;
+  check_node ckt ~elem:"inductor" b;
+  check_value ~elem:"inductor" ~what:"inductance" ~strict:true l;
   ckt.elements <- Inductance (a, b, l) :: ckt.elements
 
 let vccs ckt ~out_pos ~out_neg ~ctrl_pos ~ctrl_neg ~gm =
-  check_node ckt out_pos;
-  check_node ckt out_neg;
-  check_node ckt ctrl_pos;
-  check_node ckt ctrl_neg;
+  check_node ckt ~elem:"vccs" out_pos;
+  check_node ckt ~elem:"vccs" out_neg;
+  check_node ckt ~elem:"vccs" ctrl_pos;
+  check_node ckt ~elem:"vccs" ctrl_neg;
+  if not (Float.is_finite gm) then
+    invalid_arg (Printf.sprintf "Mna.vccs: transconductance %g must be finite" gm);
   ckt.elements <- Vccs { op = out_pos; on = out_neg; cp = ctrl_pos; cn = ctrl_neg; gm } :: ckt.elements
 
 let element_count ckt = List.length ckt.elements
@@ -79,10 +94,11 @@ let stamp_admittance y a b (c : Complex.t) =
   end
 
 let ac (ckt : t) ~freq =
-  assert (freq > 0.0);
+  if not (Float.is_finite freq) || freq <= 0.0 then
+    invalid_arg (Printf.sprintf "Mna.ac: frequency %g must be positive and finite" freq);
   let omega = 2.0 *. Float.pi *. freq in
   let n = ckt.n_nodes - 1 in
-  assert (n > 0);
+  if n <= 0 then invalid_arg "Mna.ac: circuit has no non-ground nodes";
   let y = Cmat.create n n in
   let stamp = function
     | Conductance (a, b, g) -> stamp_admittance y a b { Complex.re = g; im = 0.0 }
@@ -101,6 +117,7 @@ let ac (ckt : t) ~freq =
         add on cn gm
   in
   List.iter stamp ckt.elements;
+  if Cbmf_robust.Inject.fire ~site:"mna.solve" then raise Singular_circuit;
   match Clu.factorize y with
   | lu -> { lu; n_nodes = ckt.n_nodes }
   | exception Clu.Singular _ -> raise Singular_circuit

@@ -4,7 +4,14 @@
     All elements are admittance-stamped (resistors, capacitors,
     inductors, VCCS); independent excitations are current injections,
     so a Thévenin source must be Norton-transformed by the caller (the
-    testbenches do).  Node [0] is ground. *)
+    testbenches do).  Node [0] is ground.
+
+    Element constructors validate their inputs and raise
+    [Invalid_argument] (naming the offending node or value) on
+    out-of-range nodes, negative/non-finite R, C, L or conductances —
+    validation that survives [-noassert] release builds.  {!ac} honors
+    the ["mna.solve"] fault-injection site (see
+    {!Cbmf_robust.Inject}). *)
 
 type node = int
 

@@ -38,6 +38,14 @@ type config = {
   r_ridge : float;  (** diagonal added to R after each update *)
   min_sigma0 : float;
   min_active : int;  (** never prune below this many basis functions *)
+  max_recoveries : int;
+      (** budget of recovery actions (posterior fallbacks, M-step
+          skips, divergence rollbacks) before the loop stops trying to
+          self-heal and finishes with its best state *)
+  divergence_tol : float;
+      (** relative NLML increase treated as divergence; generous by
+          default (0.5) because warm-up pruning legitimately jumps the
+          NLML *)
 }
 
 val default_config : config
@@ -53,12 +61,16 @@ type trace = {
   nlml_history : float array;  (** one value per E-step, in order *)
   active_history : int array;  (** active-set size per iteration *)
   converged : bool;
+  recoveries : int;  (** recovery actions taken (0 for a clean run) *)
+  diag : Cbmf_robust.Diag.t;
+      (** every fault seen and recovered from during the run *)
 }
 
 val run :
   ?config:config ->
   ?posterior:
     (?need_sigma:bool -> Dataset.t -> Prior.t -> active:int array -> Posterior.t) ->
+  ?diag:Cbmf_robust.Diag.t ->
   Dataset.t ->
   Prior.t ->
   Prior.t * Posterior.t * trace
@@ -67,4 +79,15 @@ val run :
     [posterior] overrides the E-step solver (default:
     {!Posterior.compute} with one shared {!Posterior.workspace} for the
     whole run) — the bench harness uses this to time alternative
-    posterior implementations through an identical EM loop. *)
+    posterior implementations through an identical EM loop.
+
+    Robustness: the dataset is validated ({!Dataset.validate_exn}) on
+    entry; every E-step runs behind a fallback chain (auto path → dual
+    path → jittered dual retry) with a NaN/Inf watchdog; M-step faults
+    skip the update instead of crashing; a relative NLML increase
+    beyond [divergence_tol] triggers a rollback to the last-good
+    hyper-parameters with step damping.  All recoveries are recorded in
+    [diag] (also installed as the ambient {!Cbmf_robust.Diag} recorder
+    for the duration of the run, so deeper layers such as
+    {!Cbmf_linalg.Chol.factorize_with_retry} report into it).  A
+    fault-free run is bit-identical to the unguarded loop. *)

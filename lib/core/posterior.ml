@@ -548,9 +548,17 @@ let compute ?(need_sigma = true) ?(path = `Auto) ?ws (d : Dataset.t)
     | `Auto ->
         a * k < n * k && Array.for_all (fun lam -> lam > 0.0) lambda_act
   in
-  if use_primal then
-    compute_primal ~need_sigma ws d prior ~active ~b_act ~lambda_act
-  else compute_dual ~need_sigma ws d prior ~active ~b_act ~lambda_act
+  let t =
+    if use_primal then
+      compute_primal ~need_sigma ws d prior ~active ~b_act ~lambda_act
+    else compute_dual ~need_sigma ws d prior ~active ~b_act ~lambda_act
+  in
+  (* Injection site "posterior.compute": corrupt the returned NLML so
+     the EM watchdog's non-finite detection path is what recovers —
+     the same path a real numerical blow-up would take. *)
+  if Cbmf_robust.Inject.fire ~site:"posterior.compute" then
+    { t with nlml = Float.nan }
+  else t
 
 let coefficients t = Mat.transpose t.mu
 

@@ -1,4 +1,8 @@
-type t = { n : int; l : float array (* row-major lower triangle, full n×n *) }
+type t = {
+  n : int;
+  l : float array; (* row-major lower triangle, full n×n *)
+  jitter : float; (* diagonal boost that was applied before factorizing *)
+}
 
 exception Not_positive_definite of int
 
@@ -32,18 +36,52 @@ let factorize ?(jitter = 0.0) (a : Mat.t) =
       l.((i * n) + j) <- !s /. d
     done
   done;
-  { n; l }
+  { n; l; jitter }
+
+(* Escalating jitter is capped relative to the matrix's mean absolute
+   diagonal: past that point the "repair" would swamp the matrix itself,
+   so the failure is reported as a typed fault instead of silently
+   returning a factorization of mostly-jitter. *)
+let jitter_cap_rel = 1e-2
 
 let factorize_with_retry ?(max_tries = 8) a =
+  let n = a.Mat.rows in
   let base = 1e-12 *. Float.max 1.0 (Mat.max_abs a) in
+  let mean_diag =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. abs_float a.Mat.data.((i * n) + i)
+    done;
+    !s /. float_of_int (Stdlib.max n 1)
+  in
+  let cap = Float.max base (jitter_cap_rel *. mean_diag) in
+  let site = "chol.factorize" in
   let rec go tries jitter =
-    match factorize ~jitter a with
-    | f -> f
+    let attempt () =
+      if Cbmf_robust.Inject.fire ~site then raise (Not_positive_definite 0)
+      else factorize ~jitter a
+    in
+    match attempt () with
+    | f ->
+        (* A nonzero jitter means at least one attempt failed and was
+           recovered; surface that to the ambient recorder. *)
+        if jitter > 0.0 then
+          Cbmf_robust.Diag.note
+            (Cbmf_robust.Fault.Not_pd { site; dim = n; tries });
+        f
     | exception Not_positive_definite _ when tries < max_tries ->
-        let jitter = if jitter = 0.0 then base else jitter *. 100.0 in
+        let jitter =
+          if jitter = 0.0 then base else Float.min (jitter *. 100.0) cap
+        in
         go (tries + 1) jitter
+    | exception Not_positive_definite _ ->
+        raise
+          (Cbmf_robust.Fault.Error
+             (Cbmf_robust.Fault.Not_pd { site; dim = n; tries }))
   in
   go 0 0.0
+
+let jitter f = f.jitter
 
 let dim f = f.n
 
@@ -269,7 +307,7 @@ let of_scaled_identity n c =
   for i = 0 to n - 1 do
     l.((i * n) + i) <- d
   done;
-  { n; l }
+  { n; l; jitter = 0.0 }
 
 let is_positive_definite a =
   match factorize a with

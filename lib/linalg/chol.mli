@@ -19,8 +19,17 @@ val factorize : ?jitter:float -> Mat.t -> t
 
 val factorize_with_retry : ?max_tries:int -> Mat.t -> t
 (** Like {!factorize} but on failure retries with exponentially growing
-    jitter, starting from [1e-12 · max_abs a].  Raises after
-    [max_tries] (default 8) attempts. *)
+    jitter, starting from [1e-12 · max_abs a] and capped at
+    [1e-2 · mean |diag a|] — past that scale the repaired matrix would
+    be mostly jitter.  The jitter that was finally applied is recorded
+    in the result (see {!jitter}); a recovery that needed jitter is
+    noted in the ambient {!Cbmf_robust.Diag} recorder.  Raises a typed
+    [Cbmf_robust.Fault.Error (Not_pd _)] after [max_tries] (default 8)
+    failed retries.  Honors the ["chol.factorize"] injection site. *)
+
+val jitter : t -> float
+(** Diagonal boost that was applied before the successful
+    factorization ([0.] when the first attempt succeeded). *)
 
 val dim : t -> int
 

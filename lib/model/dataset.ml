@@ -68,6 +68,52 @@ let split_fold d ~n_folds ~fold =
   ( select_rows d (Array.make d.n_states train),
     select_rows d (Array.make d.n_states test) )
 
+(* --- Finiteness validation ------------------------------------------
+   A single NaN/Inf anywhere in the design or response poisons every
+   downstream factorization, so datasets are screened before fitting.
+   The report is row-granular: one entry per offending (state, row)
+   with the first bad column ([col = -1] flags the response). *)
+
+type invalid_row = { state : int; row : int; col : int }
+
+type report = { n_rows : int; invalid : invalid_row array }
+
+let validate d =
+  let bad = ref [] and n_bad = ref 0 in
+  for s = d.n_states - 1 downto 0 do
+    let b = d.design.(s) and y = d.response.(s) in
+    for i = d.n_samples - 1 downto 0 do
+      let col = ref (-2) in
+      if not (Float.is_finite y.(i)) then col := -1;
+      let base = i * d.n_basis in
+      for j = d.n_basis - 1 downto 0 do
+        if not (Float.is_finite b.Mat.data.(base + j)) then col := j
+      done;
+      if !col > -2 then begin
+        bad := { state = s; row = i; col = !col } :: !bad;
+        incr n_bad
+      end
+    done
+  done;
+  if !n_bad = 0 then Ok ()
+  else Error { n_rows = d.n_states * d.n_samples; invalid = Array.of_list !bad }
+
+let validate_exn d =
+  match validate d with
+  | Ok () -> ()
+  | Error rep ->
+      raise
+        (Cbmf_robust.Fault.Error
+           (Cbmf_robust.Fault.Non_finite
+              {
+                site = "dataset.validate";
+                what =
+                  Printf.sprintf "%d of %d rows (first: state %d row %d)"
+                    (Array.length rep.invalid) rep.n_rows
+                    rep.invalid.(0).state rep.invalid.(0).row;
+                index = rep.invalid.(0).row;
+              }))
+
 let response_norm d =
   let acc = ref 0.0 in
   Array.iter (fun y -> acc := !acc +. Vec.norm2_sq y) d.response;

@@ -35,6 +35,25 @@ val split_fold : t -> n_folds:int -> fold:int -> t * t
     every state belongs to fold [i mod n_folds].  Interleaving keeps
     fold sizes balanced for any N. *)
 
+type invalid_row = {
+  state : int;
+  row : int;
+  col : int;  (** first non-finite design column, or [-1] for the response *)
+}
+
+type report = { n_rows : int; invalid : invalid_row array }
+
+val validate : t -> (unit, report) result
+(** Screen every design and response entry for NaN/Inf.  Returns a
+    row-granular structured report of the offenders — one entry per
+    invalid (state, row), in (state, row) order.  A dataset with even
+    one non-finite entry poisons every downstream factorization, so
+    {!Em.run} rejects such inputs up front. *)
+
+val validate_exn : t -> unit
+(** Like {!validate} but raises a typed
+    [Cbmf_robust.Fault.Error (Non_finite _)] summarizing the report. *)
+
 val response_norm : t -> float
 (** sqrt(Σ_k ‖y_k‖²) — denominator of pooled relative errors. *)
 

@@ -80,17 +80,26 @@ let create n =
 
 let size pool = pool.size
 
+(* Idempotent: a second (or concurrent) call finds [stopped] already
+   set and returns immediately — the first caller owns the join.  This
+   makes the [at_exit] guard below safe even when the user already shut
+   the pool down explicitly. *)
 let shutdown pool =
   Mutex.lock pool.mutex;
-  pool.stopped <- true;
-  Condition.broadcast pool.work_ready;
-  Mutex.unlock pool.mutex;
-  Array.iter Domain.join pool.workers;
-  pool.workers <- [||]
+  if pool.stopped then Mutex.unlock pool.mutex
+  else begin
+    pool.stopped <- true;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    let workers = pool.workers in
+    pool.workers <- [||];
+    Array.iter Domain.join workers
+  end
 
 (* Run [tasks] to completion; re-raises the lowest-indexed exception
-   (deterministic regardless of execution order).  The calling domain
-   participates in draining the queue. *)
+   (deterministic regardless of execution order) with its original
+   backtrace.  The calling domain participates in draining the
+   queue. *)
 let exec pool (tasks : (unit -> unit) array) =
   let nt = Array.length tasks in
   if nt = 0 then ()
@@ -101,7 +110,11 @@ let exec pool (tasks : (unit -> unit) array) =
     let remaining = Atomic.make nt in
     let errors = Array.make nt None in
     let wrap i f () =
-      (try f () with e -> errors.(i) <- Some e);
+      (try f ()
+       with e ->
+         (* Capture the backtrace where the worker raised, so the
+            re-raise on the calling domain preserves the real origin. *)
+         errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         Mutex.lock pool.mutex;
         Condition.broadcast pool.job_done;
@@ -130,7 +143,11 @@ let exec pool (tasks : (unit -> unit) array) =
     drain ();
     Mutex.unlock pool.mutex;
     Mutex.unlock pool.submit;
-    Array.iter (function Some e -> raise e | None -> ()) errors
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors
   end
 
 let default_chunk pool n =
@@ -180,6 +197,20 @@ let default_pool : t option ref = ref None
 
 let default_mutex = Mutex.create ()
 
+(* Join the default pool's domains at process exit: a fault that
+   unwinds past the pool's users (or a plain exit mid-pipeline) must
+   not leak live domains.  [shutdown] is idempotent, so this is safe
+   when the pool was already shut down explicitly.  Registered once,
+   under [default_mutex]. *)
+let at_exit_registered = ref false
+
+let register_at_exit () =
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit (fun () ->
+        match !default_pool with Some p -> shutdown p | None -> ())
+  end
+
 let default () =
   Mutex.lock default_mutex;
   let pool =
@@ -188,6 +219,7 @@ let default () =
     | None ->
         let p = create (env_domains ()) in
         default_pool := Some p;
+        register_at_exit ();
         p
   in
   Mutex.unlock default_mutex;
@@ -199,4 +231,5 @@ let set_default_size n =
   Mutex.lock default_mutex;
   (match !default_pool with Some p -> shutdown p | None -> ());
   default_pool := Some (create n);
+  register_at_exit ();
   Mutex.unlock default_mutex

@@ -1,0 +1,71 @@
+type t = { mutex : Mutex.t; mutable faults : Fault.t list; mutable n : int }
+
+let create () = { mutex = Mutex.create (); faults = []; n = 0 }
+
+let record d f =
+  Mutex.lock d.mutex;
+  d.faults <- f :: d.faults;
+  d.n <- d.n + 1;
+  Mutex.unlock d.mutex
+
+let snapshot d =
+  Mutex.lock d.mutex;
+  let fs = d.faults in
+  Mutex.unlock d.mutex;
+  fs
+
+let faults d =
+  let fs = Array.of_list (snapshot d) in
+  Array.sort Fault.compare fs;
+  fs
+
+let count d =
+  Mutex.lock d.mutex;
+  let n = d.n in
+  Mutex.unlock d.mutex;
+  n
+
+let count_class d c =
+  List.fold_left
+    (fun acc f -> if Fault.class_of f = c then acc + 1 else acc)
+    0 (snapshot d)
+
+let is_empty d = count d = 0
+
+let clear d =
+  Mutex.lock d.mutex;
+  d.faults <- [];
+  d.n <- 0;
+  Mutex.unlock d.mutex
+
+let summary d =
+  let fs = faults d in
+  if Array.length fs = 0 then "no faults recorded"
+  else begin
+    let buf = Buffer.create 256 in
+    let i = ref 0 in
+    let n = Array.length fs in
+    while !i < n do
+      let s = Fault.to_string fs.(!i) in
+      let j = ref (!i + 1) in
+      while !j < n && String.equal (Fault.to_string fs.(!j)) s do
+        incr j
+      done;
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      if !j - !i > 1 then Buffer.add_string buf (Printf.sprintf "%s (x%d)" s (!j - !i))
+      else Buffer.add_string buf s;
+      i := !j
+    done;
+    Buffer.contents buf
+  end
+
+(* Ambient recorder: a single word read, so checking it from worker
+   domains is cheap and race-free. *)
+let current : t option Atomic.t = Atomic.make None
+
+let with_current d f =
+  let prev = Atomic.get current in
+  Atomic.set current (Some d);
+  Fun.protect ~finally:(fun () -> Atomic.set current prev) f
+
+let note f = match Atomic.get current with Some d -> record d f | None -> ()

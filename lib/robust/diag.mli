@@ -1,0 +1,44 @@
+(** Per-run fault recorder.
+
+    A [Diag.t] accumulates every {!Fault.t} observed (and recovered
+    from) during one pipeline run — an EM fit, a Monte-Carlo
+    generation.  Recording is thread-safe (faults may arrive from pool
+    worker domains) and reading is deterministic: {!faults} returns the
+    recorded set sorted by {!Fault.compare}, so reports are identical
+    at any domain count.
+
+    An optional process-wide "current" recorder lets deeply nested code
+    (e.g. jitter recovery inside [Chol.factorize_with_retry]) note
+    faults without threading a recorder through every signature:
+    {!Em.run} installs its per-run recorder for the duration of the
+    fit via {!with_current}. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Fault.t -> unit
+(** Append a fault (thread-safe). *)
+
+val faults : t -> Fault.t array
+(** All recorded faults, sorted deterministically. *)
+
+val count : t -> int
+
+val count_class : t -> Fault.class_ -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+
+val summary : t -> string
+(** Multi-line report: one line per distinct fault with a repeat
+    count, deterministic order. *)
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** [with_current d f] installs [d] as the ambient recorder while [f]
+    runs (restoring the previous one on exit, exception-safe). *)
+
+val note : Fault.t -> unit
+(** Record into the ambient recorder if one is installed; otherwise a
+    no-op.  Safe to call from any domain. *)

@@ -1,0 +1,66 @@
+type t =
+  | Not_pd of { site : string; dim : int; tries : int }
+  | Singular of { site : string; dim : int }
+  | Non_finite of { site : string; what : string; index : int }
+  | Em_divergence of { iteration : int; nlml_prev : float; nlml : float }
+  | Sim_failure of { site : string; state : int; sample : int; tries : int }
+  | Worker_error of { site : string; message : string }
+
+exception Error of t
+
+type class_ =
+  | C_not_pd
+  | C_singular
+  | C_non_finite
+  | C_em_divergence
+  | C_sim_failure
+  | C_worker_error
+
+let class_of = function
+  | Not_pd _ -> C_not_pd
+  | Singular _ -> C_singular
+  | Non_finite _ -> C_non_finite
+  | Em_divergence _ -> C_em_divergence
+  | Sim_failure _ -> C_sim_failure
+  | Worker_error _ -> C_worker_error
+
+let class_name = function
+  | C_not_pd -> "not-pd"
+  | C_singular -> "singular"
+  | C_non_finite -> "non-finite"
+  | C_em_divergence -> "em-divergence"
+  | C_sim_failure -> "sim-failure"
+  | C_worker_error -> "worker-error"
+
+let site = function
+  | Not_pd { site; _ }
+  | Singular { site; _ }
+  | Non_finite { site; _ }
+  | Sim_failure { site; _ }
+  | Worker_error { site; _ } ->
+      site
+  | Em_divergence _ -> "em"
+
+let to_string = function
+  | Not_pd { site; dim; tries } ->
+      Printf.sprintf "not-pd @%s: %dx%d matrix left the PD cone (%d tries)"
+        site dim dim tries
+  | Singular { site; dim } ->
+      Printf.sprintf "singular @%s: singular system (dim %d)" site dim
+  | Non_finite { site; what; index } ->
+      Printf.sprintf "non-finite @%s: NaN/Inf in %s (index %d)" site what index
+  | Em_divergence { iteration; nlml_prev; nlml } ->
+      Printf.sprintf "em-divergence @iter %d: NLML %.6g -> %.6g" iteration
+        nlml_prev nlml
+  | Sim_failure { site; state; sample; tries } ->
+      Printf.sprintf "sim-failure @%s: state %d sample %d failed %d times" site
+        state sample tries
+  | Worker_error { site; message } ->
+      Printf.sprintf "worker-error @%s: %s" site message
+
+let () =
+  Printexc.register_printer (function
+    | Error f -> Some (Printf.sprintf "Cbmf_robust.Fault.Error(%s)" (to_string f))
+    | _ -> None)
+
+let compare a b = Stdlib.compare (to_string a) (to_string b)

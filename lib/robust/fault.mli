@@ -1,0 +1,50 @@
+(** Typed fault taxonomy for the C-BMF pipeline.
+
+    Every recoverable numerical or simulation failure in the system is
+    described by one {!t} value carrying enough context (site name,
+    iteration / sample index, dimension) to diagnose it after the fact.
+    Recovery code records faults in a {!Diag} recorder; unrecoverable
+    failures raise {!Error} instead of ad-hoc exceptions, so callers can
+    match on the taxonomy rather than on module-private exceptions. *)
+
+type t =
+  | Not_pd of { site : string; dim : int; tries : int }
+      (** A matrix left the positive-definite cone at [site]; [tries]
+          is the number of failed (jittered) factorization attempts. *)
+  | Singular of { site : string; dim : int }
+      (** A linear solve met a numerically singular system. *)
+  | Non_finite of { site : string; what : string; index : int }
+      (** A NaN/Inf appeared in [what] at [site]; [index] is the EM
+          iteration or sample index, whichever applies. *)
+  | Em_divergence of { iteration : int; nlml_prev : float; nlml : float }
+      (** The EM objective increased sharply instead of decreasing. *)
+  | Sim_failure of { site : string; state : int; sample : int; tries : int }
+      (** A Monte-Carlo sample's simulation failed [tries] times. *)
+  | Worker_error of { site : string; message : string }
+      (** An unclassified exception escaped a pipeline stage. *)
+
+exception Error of t
+(** Raised when a fault cannot be recovered locally. *)
+
+type class_ =
+  | C_not_pd
+  | C_singular
+  | C_non_finite
+  | C_em_divergence
+  | C_sim_failure
+  | C_worker_error
+
+val class_of : t -> class_
+
+val class_name : class_ -> string
+
+val site : t -> string
+(** The named site the fault was observed at ("em" for
+    {!Em_divergence}, which has no site of its own). *)
+
+val to_string : t -> string
+(** One-line human-readable rendering, stable across runs for identical
+    faults (used to sort {!Diag} reports deterministically). *)
+
+val compare : t -> t -> int
+(** Deterministic total order (by rendered string). *)

@@ -1,0 +1,97 @@
+type config = { seed : int64; prob : float; sites : string list; all : bool }
+
+(* Flat ref checked first by [fire]: the disarmed cost is one load. *)
+let on = ref false
+
+let cfg = ref { seed = 0L; prob = 0.0; sites = []; all = false }
+
+type scope = { mutable key : int; mutable ord : int }
+
+let scope : scope Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { key = 0; ord = 0 })
+
+let armed () = !on
+
+let arm ?(seed = 0) ?(prob = 0.05) ~sites () =
+  cfg :=
+    {
+      seed = Int64.of_int seed;
+      prob;
+      sites;
+      all = List.exists (String.equal "all") sites;
+    };
+  (* Restart the arming domain's sequential decision stream, so each
+     armed experiment is reproducible regardless of what ran before it
+     in the same process. *)
+  let s = Domain.DLS.get scope in
+  s.key <- 0;
+  s.ord <- 0;
+  on := true
+
+let disarm () = on := false
+
+(* splitmix64 finalizer — the same mixer Rng uses, duplicated here so
+   cbmf_robust stays dependency-free. *)
+let mix z =
+  let open Int64 in
+  let z = add z 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let decision c site key ord =
+  let h = mix (Int64.add c.seed (Int64.of_int (Hashtbl.hash site))) in
+  let h = mix (Int64.add h (Int64.of_int key)) in
+  let h = mix (Int64.add h (Int64.of_int ord)) in
+  let bits = Int64.shift_right_logical h 11 in
+  Int64.to_float bits *. 0x1.0p-53 < c.prob
+
+let fire ~site =
+  !on
+  &&
+  let c = !cfg in
+  (c.all || List.exists (String.equal site) c.sites)
+  &&
+  (* The ordinal advances only for armed sites, so the decision stream
+     of one site does not depend on unarmed guards being crossed. *)
+  let s = Domain.DLS.get scope in
+  let ord = s.ord in
+  s.ord <- ord + 1;
+  decision c site s.key ord
+
+let with_scope ~key f =
+  let s = Domain.DLS.get scope in
+  let saved_key = s.key and saved_ord = s.ord in
+  s.key <- key;
+  s.ord <- 0;
+  Fun.protect
+    ~finally:(fun () ->
+      s.key <- saved_key;
+      s.ord <- saved_ord)
+    f
+
+(* Environment arming, read once at load: lets `dune` rules and CI turn
+   injection on for a whole executable without code changes. *)
+let () =
+  match Sys.getenv_opt "CBMF_FAULT_SITES" with
+  | Some s when String.trim s <> "" ->
+      let sites =
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+      in
+      let geti v d =
+        match Sys.getenv_opt v with
+        | Some x -> ( match int_of_string_opt (String.trim x) with Some i -> i | None -> d)
+        | None -> d
+      in
+      let getf v d =
+        match Sys.getenv_opt v with
+        | Some x -> (
+            match float_of_string_opt (String.trim x) with Some f -> f | None -> d)
+        | None -> d
+      in
+      arm ~seed:(geti "CBMF_FAULT_SEED" 0)
+        ~prob:(getf "CBMF_FAULT_PROB" 0.05)
+        ~sites ()
+  | _ -> ()

@@ -1,0 +1,50 @@
+(** Deterministic, seeded fault injection.
+
+    Production code guards its failure-prone operations with named
+    sites — ["chol.factorize"], ["mna.solve"], ["mc.sample"],
+    ["posterior.compute"] — by asking {!fire} whether the operation
+    should be made to fail.  When the harness is disarmed (the default)
+    {!fire} is a single flat-ref read returning [false]; there is no
+    hashing, no allocation and no site lookup, so shipping the guards
+    in the hot paths is free.
+
+    When armed (programmatically via {!arm}, or through the
+    [CBMF_FAULT_SITES] / [CBMF_FAULT_SEED] / [CBMF_FAULT_PROB]
+    environment variables at load time), each {!fire} call decides
+    pseudo-randomly — but {e deterministically} — whether to inject a
+    fault.  The decision is a pure hash of
+    [(seed, site, scope key, ordinal)]:
+
+    - the {e scope key} is set with {!with_scope} (e.g. the global
+      Monte-Carlo sample index), making decisions independent of which
+      pool domain executes the work and of execution order;
+    - the {e ordinal} counts armed {!fire} calls inside the current
+      scope, so repeated attempts (retries) draw fresh decisions.
+
+    Code that runs sequentially on one domain (the EM loop) may call
+    {!fire} without a scope; the ordinal then advances monotonically on
+    that domain, which is deterministic for a fixed call sequence.
+    Parallel code MUST wrap each unit of work in {!with_scope} keyed by
+    a stable index, or injected faults will depend on the domain
+    count. *)
+
+val armed : unit -> bool
+
+val arm : ?seed:int -> ?prob:float -> sites:string list -> unit -> unit
+(** Enable injection at the named [sites] (["all"] matches every site)
+    with per-call probability [prob] (default [0.05]) and the given
+    [seed] (default [0]).  Resets the arming domain's sequential
+    decision stream (scope key and ordinal), so each armed experiment
+    reproduces regardless of what ran earlier in the process. *)
+
+val disarm : unit -> unit
+
+val fire : site:string -> bool
+(** [fire ~site] is [true] when an injected fault should be raised at
+    [site] now.  Always [false] while disarmed (one flat-ref read). *)
+
+val with_scope : key:int -> (unit -> 'a) -> 'a
+(** [with_scope ~key f] runs [f] with injection decisions keyed by
+    [key] (ordinal reset to 0), restoring the enclosing scope after —
+    including the enclosing ordinal, so scoped work interleaved on the
+    main domain does not perturb the sequential stream. *)

@@ -17,5 +17,6 @@ let () =
          Test_core.suite;
          Test_cluster.suite;
          Test_parallel.suite;
+         Test_robust.suite;
          Test_posterior_oracle.suite;
          Test_integration.suite ])
