@@ -202,6 +202,35 @@ let compute ?(need_sigma = true) (d : Dataset.t) (prior : Prior.t) ~active =
     let var = a_aa -. Chol.quad_inv chol w in
     (!mean, Float.max var 0.0)
   in
+  (* Same contract as [Posterior.state_cov], through the cached factor. *)
+  let state_cov () =
+    Array.init k (fun s ->
+        let ws_mat = Mat.create nk a in
+        let wd = ws_mat.Mat.data in
+        for k' = 0 to k - 1 do
+          let rks = Mat.get prior.Prior.r k' s in
+          if rks <> 0.0 then begin
+            let bm = b_act.(k') in
+            for i = 0 to n - 1 do
+              let brow = i * a in
+              let wrow = ((k' * n) + i) * a in
+              for j = 0 to a - 1 do
+                wd.(wrow + j) <-
+                  rks *. prior.Prior.lambda.(active.(j))
+                  *. bm.Mat.data.(brow + j)
+              done
+            done
+          end
+        done;
+        let x = Chol.solve_lower_mat chol ws_mat in
+        let xtx = Mat.syrk_tn x in
+        let c = Mat.create a a in
+        let rss = Mat.get prior.Prior.r s s in
+        for j = 0 to a - 1 do
+          Mat.set c j j (rss *. prior.Prior.lambda.(active.(j)))
+        done;
+        Mat.sub c xtx)
+  in
   {
     Posterior.mu;
     sigma_blocks;
@@ -212,4 +241,5 @@ let compute ?(need_sigma = true) (d : Dataset.t) (prior : Prior.t) ~active =
     nk;
     path = `Dual;
     predictive;
+    state_cov;
   }

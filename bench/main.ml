@@ -8,7 +8,7 @@
    reports the true paper-scale fitting costs).
 
    Usage: main.exe [tab1] [tab2] [fig2] [fig3] [ablation] [micro] [par]
-                   [posterior] [quick|full|smoke]
+                   [posterior] [serve] [quick|full|smoke]
    With no arguments everything runs at paper scale with a 4-point
    sample-budget grid for the figures; [full] uses the paper's 6-point
    grid, [quick] reduced (non-paper) settings. *)
@@ -292,6 +292,160 @@ let run_posterior ~smoke =
     Format.fprintf fmt "  smoke OK: schema valid, both paths exercised@."
   end
 
+(* --- Serving: batched engine and registry -------------------------- *)
+
+(* Times the serving subsystem and writes BENCH_serve.json: batched
+   [Engine.predict_batch] vs the naive per-point [Model.predict] loop
+   (points/second), and a cold registry hit (snapshot load + decode)
+   vs warm hits.  [smoke] shrinks the instance, re-reads the JSON and
+   fails hard unless the schema holds and the batched path is
+   bit-identical to the naive loop. *)
+let run_serve ~smoke =
+  section
+    (if smoke then "serve (smoke: schema + batched = naive bitwise)"
+     else "serve (batched vs naive, cold vs warm registry)");
+  let module S = Cbmf_serve in
+  let open Cbmf_linalg in
+  let rng = Cbmf_prob.Rng.create 23 in
+  let dim = if smoke then 8 else 32 in
+  let k = if smoke then 6 else 32 in
+  let a = if smoke then 16 else 64 in
+  let batch = if smoke then 256 else 4096 in
+  let model =
+    {
+      S.Model.input_dim = dim;
+      n_states = k;
+      terms =
+        Array.init a (fun j ->
+            if j = 0 then Cbmf_basis.Term.Constant
+            else if j <= dim then Cbmf_basis.Term.Linear ((j - 1) mod dim)
+            else Cbmf_basis.Term.Square ((j - 1) mod dim));
+      col_means = Mat.init k a (fun _ _ -> 0.1 *. Cbmf_prob.Rng.gaussian rng);
+      col_scales = Array.init a (fun j -> 1.0 +. (0.1 *. float_of_int (j mod 5)));
+      y_means = Array.init k (fun _ -> Cbmf_prob.Rng.gaussian rng);
+      y_scale = 2.0;
+      mu = Mat.init a k (fun _ _ -> Cbmf_prob.Rng.gaussian rng);
+      lambda = Array.make a 1.0;
+      r = Mat.init k k (fun i j -> if i = j then 1.0 else 0.5);
+      sigma0 = 0.1;
+      cov =
+        Array.init k (fun _ ->
+            Mat.init a a (fun i j ->
+                if i = j then 1.0 else 0.01 *. float_of_int ((i + j) mod 7)));
+    }
+  in
+  (match S.Model.validate model with
+  | Ok () -> ()
+  | Error e ->
+      Format.fprintf fmt "  SMOKE FAIL: synthetic model invalid: %s@." e;
+      exit 1);
+  let xs = Mat.init batch dim (fun _ _ -> Cbmf_prob.Rng.gaussian rng) in
+  let states = Array.init batch (fun i -> i mod k) in
+  let reps = if smoke then 3 else 10 in
+  let time_n f =
+    f ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let naive () =
+    let means = Array.make batch 0.0 and sds = Array.make batch 0.0 in
+    for i = 0 to batch - 1 do
+      let m, s = S.Model.predict model ~state:states.(i) (Mat.row xs i) in
+      means.(i) <- m;
+      sds.(i) <- s
+    done;
+    (means, sds)
+  in
+  let batched () = S.Engine.predict_batch model ~states ~xs in
+  (* Correctness first: the two paths must agree bit-for-bit. *)
+  let nm, ns = naive () in
+  let bm, bs = batched () in
+  let bits_eq xs ys =
+    Array.for_all2
+      (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+      xs ys
+  in
+  if not (bits_eq nm bm && bits_eq ns bs) then begin
+    Format.fprintf fmt "  SMOKE FAIL: batched path differs from naive loop@.";
+    exit 1
+  end;
+  let naive_s = time_n (fun () -> ignore (naive ())) in
+  let batched_s = time_n (fun () -> ignore (batched ())) in
+  let pps s = float_of_int batch /. s in
+  (* Registry: cold load (snapshot decode from disk) vs warm hits. *)
+  let tmp = Filename.temp_file "cbmf_serve_bench" ".snap" in
+  S.Snapshot.save ~path:tmp model;
+  let reg = S.Registry.create () in
+  S.Registry.add_path reg ~name:"m" tmp;
+  let t0 = Unix.gettimeofday () in
+  let loaded = S.Registry.get reg ~name:"m" in
+  let cold_s = Unix.gettimeofday () -. t0 in
+  if not (S.Model.equal loaded model) then begin
+    Format.fprintf fmt "  SMOKE FAIL: registry round-trip not bit-identical@.";
+    exit 1
+  end;
+  let warm_reps = 1000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to warm_reps do
+    ignore (S.Registry.get reg ~name:"m")
+  done;
+  let warm_s = (Unix.gettimeofday () -. t0) /. float_of_int warm_reps in
+  Sys.remove tmp;
+  Format.fprintf fmt
+    "  predict_batch (%d pts)  naive %10.1f pts/s   batched %10.1f pts/s   \
+     %5.2fx@."
+    batch (pps naive_s) (pps batched_s) (naive_s /. batched_s);
+  Format.fprintf fmt
+    "  registry                cold %10.6f s      warm %12.2e s      %5.0fx@."
+    cold_s warm_s (cold_s /. warm_s);
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"batch\": %d,\n\
+    \  \"n_active\": %d,\n\
+    \  \"n_states\": %d,\n\
+    \  \"naive_pts_per_s\": %.1f,\n\
+    \  \"batched_pts_per_s\": %.1f,\n\
+    \  \"batched_speedup\": %.4f,\n\
+    \  \"cold_load_s\": %.6f,\n\
+    \  \"warm_hit_s\": %.9f,\n\
+    \  \"warm_speedup\": %.1f,\n\
+    \  \"bit_identical\": true\n\
+     }\n"
+    batch a k (pps naive_s) (pps batched_s) (naive_s /. batched_s) cold_s
+    warm_s (cold_s /. warm_s);
+  close_out oc;
+  Format.fprintf fmt "  [wrote BENCH_serve.json]@.";
+  if smoke then begin
+    let ic = open_in "BENCH_serve.json" in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let has needle =
+      let nl = String.length needle and bl = String.length body in
+      let rec scan i =
+        if i + nl > bl then false
+        else if String.sub body i nl = needle then true
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let required =
+      [ "\"batch\""; "\"n_active\""; "\"n_states\""; "\"naive_pts_per_s\"";
+        "\"batched_pts_per_s\""; "\"batched_speedup\""; "\"cold_load_s\"";
+        "\"warm_hit_s\""; "\"warm_speedup\""; "\"bit_identical\": true" ]
+    in
+    let missing = List.filter (fun key -> not (has key)) required in
+    if missing <> [] then begin
+      Format.fprintf fmt "  SMOKE FAIL: missing %s@."
+        (String.concat ", " missing);
+      exit 1
+    end;
+    Format.fprintf fmt "  smoke OK: schema valid, batched = naive bitwise@."
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------- *)
 
 let micro_dataset () =
@@ -395,5 +549,6 @@ let () =
   if want "micro" then micro ();
   if want "par" then run_par ~quick;
   if want "posterior" then run_posterior ~smoke;
+  if want "serve" then run_serve ~smoke;
   Format.fprintf fmt "@.[bench complete in %.1f s wall clock]@."
     (Unix.gettimeofday () -. t0)

@@ -1,0 +1,239 @@
+(* Command-line driver for the model-serving subsystem: fit-and-save
+   snapshots, run the socket server, poke a running server. *)
+
+open Cmdliner
+open Cbmf_serve
+
+(* --- Address selection ------------------------------------------------ *)
+
+let sockaddr ~socket ~port =
+  match (socket, port) with
+  | Some path, _ -> Unix.ADDR_UNIX path
+  | None, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+  | None, None ->
+      prerr_endline "cbmf_serve: pass --socket PATH or --port PORT";
+      exit 2
+
+let socket_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port on 127.0.0.1.")
+
+(* --- fit: train a model and save its snapshot ------------------------- *)
+
+let run_fit circuit out seed n_train quick =
+  let w =
+    match circuit with
+    | "lna" -> Cbmf_experiments.Workload.lna ()
+    | "mixer" -> Cbmf_experiments.Workload.mixer ()
+    | name ->
+        prerr_endline (Printf.sprintf "unknown circuit %S" name);
+        exit 2
+  in
+  Printf.printf "Simulating %s (seed %d, %d samples/state)...\n%!"
+    w.Cbmf_experiments.Workload.name seed n_train;
+  let data =
+    Cbmf_experiments.Workload.generate w ~seed ~n_train_max:n_train
+      ~n_test_per_state:1
+  in
+  let train =
+    Cbmf_experiments.Workload.train_dataset data ~poi:0 ~n_per_state:n_train
+  in
+  let config =
+    if quick then Cbmf_core.Cbmf.fast_config else Cbmf_core.Cbmf.default_config
+  in
+  Printf.printf "Fitting...\n%!";
+  let fitted = Cbmf_core.Cbmf.fit ~config train in
+  let model =
+    Model.of_fit
+      ~dict:w.Cbmf_experiments.Workload.dictionary
+      (Cbmf_core.Cbmf.fitted_view fitted)
+  in
+  Snapshot.save ~path:out model;
+  Printf.printf "Saved %s: %d active terms, %d states, %d bytes\n" out
+    (Model.n_active model) model.Model.n_states
+    (String.length (Snapshot.encode model))
+
+let fit_cmd =
+  let circuit =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"lna or mixer.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Snapshot output path.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Monte-Carlo seed.") in
+  let n_train =
+    Arg.(value & opt int 10 & info [ "n-train" ] ~doc:"Training samples per state.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Fast (non-paper) fit settings.")
+  in
+  Cmd.v
+    (Cmd.info "fit" ~doc:"Fit a C-BMF model and save a serving snapshot.")
+    Term.(const run_fit $ circuit $ out $ seed $ n_train $ quick)
+
+(* --- serve: run the server ------------------------------------------- *)
+
+let parse_model_spec spec =
+  match String.index_opt spec '=' with
+  | Some i ->
+      (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+  | None ->
+      prerr_endline
+        (Printf.sprintf "bad --model %S (expected NAME=SNAPSHOT_PATH)" spec);
+      exit 2
+
+let run_serve socket port workers timeout max_mb models =
+  let addr = sockaddr ~socket ~port in
+  let registry =
+    Registry.create ~max_bytes:(max_mb * 1024 * 1024) ()
+  in
+  List.iter
+    (fun spec ->
+      let name, path = parse_model_spec spec in
+      Registry.add_path registry ~name path;
+      Printf.printf "Registered %S -> %s (lazy)\n%!" name path)
+    models;
+  let config = { Server.default_config with workers; timeout } in
+  let server = Server.start ~config ~registry addr in
+  (match Server.addr server with
+  | Unix.ADDR_UNIX path -> Printf.printf "Listening on %s\n%!" path
+  | Unix.ADDR_INET (host, p) ->
+      Printf.printf "Listening on %s:%d\n%!" (Unix.string_of_inet_addr host) p);
+  let stop_on_signal _ = Server.request_stop server in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on_signal)
+   with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on_signal)
+   with Invalid_argument _ -> ());
+  Server.wait server;
+  print_endline "Server stopped."
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker threads.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout" ] ~doc:"Per-request socket timeout, seconds.")
+  in
+  let max_mb =
+    Arg.(
+      value & opt int 256
+      & info [ "max-mb" ] ~doc:"Registry budget for resident models, MiB.")
+  in
+  let models =
+    Arg.(
+      value & opt_all string []
+      & info [ "model" ] ~docv:"NAME=PATH"
+          ~doc:"Pre-register a snapshot (repeatable, loaded lazily).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the inference server.")
+    Term.(
+      const run_serve $ socket_t $ port_t $ workers $ timeout $ max_mb $ models)
+
+(* --- Client one-shots ------------------------------------------------- *)
+
+let with_client ~socket ~port f =
+  let c = Client.connect (sockaddr ~socket ~port) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let run_load socket port name path =
+  with_client ~socket ~port (fun c ->
+      match Client.load_path c ~name ~path with
+      | Ok (n_active, n_states, bytes) ->
+          Printf.printf "Loaded %S: %d active terms, %d states, ~%d bytes\n"
+            name n_active n_states bytes
+      | Error msg ->
+          prerr_endline ("load failed: " ^ msg);
+          exit 1)
+
+let load_cmd =
+  let name_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let path_t =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SNAPSHOT")
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Ask a running server to load a snapshot file.")
+    Term.(const run_load $ socket_t $ port_t $ name_t $ path_t)
+
+let run_predict socket port name state xspec =
+  let x =
+    String.split_on_char ',' xspec
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun s -> float_of_string (String.trim s))
+    |> Array.of_list
+  in
+  let xs =
+    Cbmf_linalg.Mat.unsafe_of_flat ~rows:1 ~cols:(Array.length x) x
+  in
+  with_client ~socket ~port (fun c ->
+      match Client.predict c ~name ~states:[| state |] ~xs with
+      | Ok (means, sds) ->
+          Printf.printf "mean = %.6g, sd = %.6g\n" means.(0) sds.(0)
+      | Error msg ->
+          prerr_endline ("predict failed: " ^ msg);
+          exit 1)
+
+let predict_cmd =
+  let name_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let state_t =
+    Arg.(value & opt int 0 & info [ "state" ] ~doc:"Knob state index.")
+  in
+  let x_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "x" ] ~docv:"V1,V2,..." ~doc:"Comma-separated input vector.")
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Predict one point against a loaded model.")
+    Term.(const run_predict $ socket_t $ port_t $ name_t $ state_t $ x_t)
+
+let run_stats socket port =
+  with_client ~socket ~port (fun c ->
+      match Client.stats c with
+      | Ok json -> print_endline json
+      | Error msg ->
+          prerr_endline ("stats failed: " ^ msg);
+          exit 1)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Dump a running server's counters as JSON.")
+    Term.(const run_stats $ socket_t $ port_t)
+
+let run_shutdown socket port =
+  with_client ~socket ~port (fun c -> Client.shutdown c);
+  print_endline "Shutdown requested."
+
+let shutdown_cmd =
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Stop a running server.")
+    Term.(const run_shutdown $ socket_t $ port_t)
+
+let () =
+  let doc = "C-BMF model snapshot and inference serving." in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "cbmf_serve" ~doc)
+          [ fit_cmd; serve_cmd; load_cmd; predict_cmd; stats_cmd; shutdown_cmd ]))

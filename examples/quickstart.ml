@@ -27,8 +27,9 @@ let true_coefficient ~state = function
   | 71 -> 0.8 +. (0.05 *. float_of_int state)
   | _ -> 0.0
 
+let dict = Cbmf_basis.Dictionary.linear dim
+
 let simulate rng ~state ~n =
-  let dict = Cbmf_basis.Dictionary.linear dim in
   let xs = Mat.init n dim (fun _ _ -> Cbmf_prob.Rng.gaussian rng) in
   let design = Cbmf_basis.Dictionary.design_matrix dict xs in
   let response =
@@ -82,4 +83,29 @@ let () =
       Printf.printf "  state %2d: true %+.3f   fitted %+.3f\n" state
         (true_coefficient ~state 8)
         (Mat.get model.Cbmf_core.Cbmf.coeffs state 8))
+    [ 0; 5; 10; 15 ];
+
+  (* --- Persist and serve: snapshot round-trips bit-identically. ---
+     The serving model keeps only the active terms and the posterior
+     factors; [Snapshot.save]/[load] reproduce it exactly, so a model
+     fitted once can be served anywhere without refitting. *)
+  let serving = Cbmf_serve.Model.of_fit ~dict (Cbmf_core.Cbmf.fitted_view model) in
+  let path = Filename.temp_file "cbmf_quickstart" ".snap" in
+  Cbmf_serve.Snapshot.save ~path serving;
+  let reloaded = Cbmf_serve.Snapshot.load ~path in
+  Sys.remove path;
+  assert (Cbmf_serve.Model.equal reloaded serving);
+  Printf.printf
+    "\nSnapshot: %d active terms saved, reloaded bit-identically\n"
+    (Cbmf_serve.Model.n_active serving);
+  Printf.printf "Served predictions at a fresh point (mean ± sd):\n";
+  let x = Array.init dim (fun _ -> Cbmf_prob.Rng.gaussian rng) in
+  List.iter
+    (fun state ->
+      let mean, sd = Cbmf_serve.Model.predict reloaded ~state x in
+      let mean', sd' = Cbmf_serve.Model.predict serving ~state x in
+      assert (
+        Int64.equal (Int64.bits_of_float mean) (Int64.bits_of_float mean')
+        && Int64.equal (Int64.bits_of_float sd) (Int64.bits_of_float sd'));
+      Printf.printf "  state %2d: %+.3f ± %.3f\n" state mean sd)
     [ 0; 5; 10; 15 ]

@@ -41,10 +41,21 @@ type info = {
   fit_seconds : float;
 }
 
+type fitted = {
+  std : Standardize.params;
+  active : int array;
+  mu : Mat.t;
+  lambda : Vec.t;
+  r : Mat.t;
+  sigma0 : float;
+  cov : Mat.t array;
+}
+
 type model = {
   coeffs : Mat.t;
   info : info;
   uncertainty : state:int -> Vec.t -> float * float;
+  view : fitted Lazy.t;
 }
 
 let fit ?(config = default_config) (d : Dataset.t) =
@@ -90,7 +101,25 @@ let fit ?(config = default_config) (d : Dataset.t) =
       fit_seconds = Sys.time () -. t0;
     }
   in
-  { coeffs; info; uncertainty }
+  let view =
+    lazy
+      (let active = Array.copy post.Posterior.active in
+       let k = (Standardize.params transform).Standardize.n_states in
+       {
+         std = Standardize.params transform;
+         active;
+         mu =
+           Mat.init (Array.length active) k (fun j s ->
+               Mat.get post.Posterior.mu active.(j) s);
+         lambda = Array.map (fun j -> prior.Prior.lambda.(j)) active;
+         r = Mat.copy prior.Prior.r;
+         sigma0 = prior.Prior.sigma0;
+         cov = post.Posterior.state_cov ();
+       })
+  in
+  { coeffs; info; uncertainty; view }
+
+let fitted_view model = Lazy.force model.view
 
 let predict_state model ~design ~state =
   Mat.mat_vec design (Mat.row model.coeffs state)

@@ -41,6 +41,33 @@ type info = {
   fit_seconds : float;  (** CPU time of the whole fit *)
 }
 
+type fitted = {
+  std : Standardize.params;
+      (** the standardization learned at fit time — maps raw dictionary
+          rows into the space the posterior lives in *)
+  active : int array;
+      (** active columns of the {e standardized} problem (indices into
+          [std.kept]) — the basis functions that survived EM pruning *)
+  mu : Mat.t;
+      (** a×K posterior means of the active standardized coefficients
+          (row j = coefficient of active term j across states): for a
+          standardized row restricted to [active], [uᵀ·mu[:,s]] is the
+          predictive mean in standardized units *)
+  lambda : Vec.t;  (** their λ, standardized units, one per active *)
+  r : Mat.t;  (** K×K learned correlation *)
+  sigma0 : float;  (** noise standard deviation, standardized units *)
+  cov : Mat.t array;
+      (** K per-state a×a posterior covariance blocks of the active
+          coefficients (see {!Posterior.state_cov}): for a standardized
+          row restricted to [active], [uᵀ·cov.(s)·u] is the predictive
+          variance, to which σ0² adds the observation noise — all in
+          standardized units; multiply by [std.y_scale]² for raw. *)
+}
+(** Everything a consumer needs to {e predict} (mean and variance) at
+    any [(x, state)] without the training data, the EM state or any
+    closure — the serializable fitted-model view that
+    [Cbmf_serve.Snapshot] persists. *)
+
 type model = {
   coeffs : Mat.t;  (** K×M, raw units — eq. (1)'s α *)
   info : info;
@@ -49,9 +76,16 @@ type model = {
           including both posterior coefficient uncertainty and the
           observation-noise level σ0 — what the MAP-only paper does not
           expose but the Bayesian posterior provides for free. *)
+  view : fitted Lazy.t;
+      (** the serializable view, materialized on first use (forcing it
+          extracts the posterior covariance blocks from the cached
+          factorization — cheap next to the fit itself) *)
 }
 
 val fit : ?config:config -> Dataset.t -> model
+
+val fitted_view : model -> fitted
+(** Force and return {!model.view}. *)
 
 val predict_state : model -> design:Mat.t -> state:int -> Vec.t
 (** ŷ_k = B_k α_k. *)

@@ -60,6 +60,7 @@ type t = {
   nk : int;
   path : path;
   predictive : state:int -> Vec.t -> float * float;
+  state_cov : unit -> Mat.t array;
 }
 
 (* Reusable per-EM-iteration buffers.  [Em.run] threads one workspace
@@ -340,6 +341,37 @@ let compute_dual ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
     let var = a_aa -. Chol.quad_inv chol w in
     (!mean, Float.max var 0.0)
   in
+  (* Per-state covariance of the active coefficients: with Ws the NK×a
+     matrix whose column j stacks λ_j·R[k',s]·B_{k'}[:,j] over states
+     k', C_s = R[s,s]·diag(λ) − WsᵀG⁻¹Ws = R[s,s]·diag(λ) − XᵀX with
+     X = L⁻¹Ws, so bᵀC_s b equals [predictive]'s variance exactly. *)
+  let state_cov () =
+    Array.init k (fun s ->
+        let ws_mat = Mat.create nk a in
+        let wd = ws_mat.Mat.data in
+        for k' = 0 to k - 1 do
+          let rks = Mat.get prior.Prior.r k' s in
+          if rks <> 0.0 then begin
+            let bm = b_act.(k') in
+            for i = 0 to n - 1 do
+              let brow = i * a in
+              let wrow = ((k' * n) + i) * a in
+              for j = 0 to a - 1 do
+                wd.(wrow + j) <-
+                  rks *. lambda_act.(j) *. bm.Mat.data.(brow + j)
+              done
+            done
+          end
+        done;
+        let x = Chol.solve_lower_mat chol ws_mat in
+        let xtx = Mat.syrk_tn x in
+        let c = Mat.create a a in
+        let rss = Mat.get prior.Prior.r s s in
+        for j = 0 to a - 1 do
+          Mat.set c j j (rss *. lambda_act.(j))
+        done;
+        Mat.sub c xtx)
+  in
   {
     mu;
     sigma_blocks;
@@ -350,6 +382,7 @@ let compute_dual ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
     nk;
     path = `Dual;
     predictive;
+    state_cov;
   }
 
 (* --- Primal (Woodbury) path: (aK)-sized system ----------------------
@@ -514,6 +547,32 @@ let compute_primal ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
     let var = Chol.quad_inv p_chol u in
     (!mean, Float.max var 0.0)
   in
+  (* The coefficient covariance is P⁻¹ itself; each state-diagonal a×a
+     block is read entry-wise as row dots of (L⁻¹)ᵀ. *)
+  let state_cov () =
+    let linv_t = Chol.lower_inverse_t p_chol in
+    let ld = linv_t.Mat.data in
+    let pinv_entry u v =
+      let w0 = if u > v then u else v in
+      let ru = u * ak and rv = v * ak in
+      let s = ref 0.0 in
+      for w = w0 to ak - 1 do
+        s :=
+          !s +. (Array.unsafe_get ld (ru + w) *. Array.unsafe_get ld (rv + w))
+      done;
+      !s
+    in
+    Array.init k (fun s ->
+        let c = Mat.create a a in
+        for j1 = 0 to a - 1 do
+          for j2 = j1 to a - 1 do
+            let v = pinv_entry ((s * a) + j1) ((s * a) + j2) in
+            Mat.set c j1 j2 v;
+            if j1 <> j2 then Mat.set c j2 j1 v
+          done
+        done;
+        c)
+  in
   {
     mu;
     sigma_blocks;
@@ -524,6 +583,7 @@ let compute_primal ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
     nk;
     path = `Primal;
     predictive;
+    state_cov;
   }
 
 let compute ?(need_sigma = true) ?(path = `Auto) ?ws (d : Dataset.t)

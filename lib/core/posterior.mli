@@ -37,6 +37,17 @@ type t = {
           The variance is the exact posterior-predictive
           [aᵀΣ_p a = aᵀA a − wᵀG⁻¹w] of the coefficient functional —
           add σ0² for the observation noise. *)
+  state_cov : unit -> Mat.t array;
+      (** K per-state a×a posterior covariance blocks of the {e active}
+          coefficients (a = [Array.length active], ordered as [active]):
+          block [s] is [Cov(α_{active, s})] = Σ_p restricted to state
+          [s]'s active rows/columns.  For any basis row [b] (length M)
+          the posterior-predictive variance at state [s] is exactly
+          [uᵀ·C_s·u] with [u = b.(active)] — the finite-dimensional Σ
+          factor a model snapshot persists so a served model reproduces
+          {!predictive}'s variance without the training data.  Computed
+          on demand from the cached factorization (O(K·(NK)²·a) dual /
+          O((aK)³/6) primal); call once and keep the result. *)
 }
 
 type workspace

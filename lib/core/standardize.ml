@@ -135,3 +135,58 @@ let unstandardize_coeffs tr (c : Mat.t) =
     | None -> ()
   done;
   out
+
+(* The serializable view.  [t] is already plain data, so [params] is a
+   defensive copy and [of_params] a validated repackaging.  Defined
+   last because the field names shadow [t]'s. *)
+type params = {
+  n_states : int;
+  n_basis_raw : int;
+  kept : int array;
+  constant_col : int option;
+  y_means : float array;
+  y_scale : float;
+  col_means : Mat.t;
+  col_scales : float array;
+}
+
+let params (tr : t) : params =
+  {
+    n_states = tr.n_states;
+    n_basis_raw = tr.n_basis_raw;
+    kept = Array.copy tr.kept;
+    constant_col = tr.constant_col;
+    y_means = Array.copy tr.y_means;
+    y_scale = tr.y_scale;
+    col_means = Mat.copy tr.col_means;
+    col_scales = Array.copy tr.col_scales;
+  }
+
+let of_params (p : params) : t =
+  let fail reason = invalid_arg ("Standardize.of_params: " ^ reason) in
+  if p.n_states <= 0 then fail "n_states must be positive";
+  if p.n_basis_raw < 0 then fail "negative n_basis_raw";
+  if Array.length p.y_means <> p.n_states then fail "y_means length";
+  if not (p.y_scale > 0.0) then fail "y_scale must be positive";
+  if p.col_means.Mat.rows <> p.n_states || p.col_means.Mat.cols <> p.n_basis_raw
+  then fail "col_means shape";
+  if Array.length p.col_scales <> p.n_basis_raw then fail "col_scales length";
+  Array.iter
+    (fun s -> if not (s > 0.0) then fail "col_scales must be positive")
+    p.col_scales;
+  Array.iter
+    (fun c -> if c < 0 || c >= p.n_basis_raw then fail "kept index out of range")
+    p.kept;
+  (match p.constant_col with
+  | Some c when c < 0 || c >= p.n_basis_raw -> fail "constant_col out of range"
+  | _ -> ());
+  {
+    n_states = p.n_states;
+    n_basis_raw = p.n_basis_raw;
+    kept = Array.copy p.kept;
+    constant_col = p.constant_col;
+    y_means = Array.copy p.y_means;
+    y_scale = p.y_scale;
+    col_means = Mat.copy p.col_means;
+    col_scales = Array.copy p.col_scales;
+  }

@@ -15,6 +15,26 @@ open Cbmf_model
 type t
 (** The fitted transform (means, scales, dropped columns). *)
 
+type params = {
+  n_states : int;
+  n_basis_raw : int;  (** M, the raw dictionary size *)
+  kept : int array;  (** raw indices of the standardized columns *)
+  constant_col : int option;  (** raw index of the intercept column *)
+  y_means : float array;  (** per-state response centering *)
+  y_scale : float;  (** pooled response scale *)
+  col_means : Mat.t;  (** K × M per-state column centering *)
+  col_scales : float array;  (** M pooled column scales (1 if dropped) *)
+}
+(** The transform as plain data — the serializable view a model
+    snapshot persists.  {!params}/{!of_params} round-trip exactly. *)
+
+val params : t -> params
+(** Copy of the fitted transform's parameters (fresh arrays). *)
+
+val of_params : params -> t
+(** Rebuild a transform from persisted parameters.  Validates shapes
+    and index ranges ([Invalid_argument] on inconsistent data). *)
+
 val fit : Dataset.t -> t * Dataset.t
 (** Learn the transform on a training dataset and return the
     standardized dataset (columns = kept basis functions only). *)

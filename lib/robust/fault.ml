@@ -5,6 +5,7 @@ type t =
   | Em_divergence of { iteration : int; nlml_prev : float; nlml : float }
   | Sim_failure of { site : string; state : int; sample : int; tries : int }
   | Worker_error of { site : string; message : string }
+  | Bad_snapshot of { site : string; reason : string }
 
 exception Error of t
 
@@ -15,6 +16,7 @@ type class_ =
   | C_em_divergence
   | C_sim_failure
   | C_worker_error
+  | C_bad_snapshot
 
 let class_of = function
   | Not_pd _ -> C_not_pd
@@ -23,6 +25,7 @@ let class_of = function
   | Em_divergence _ -> C_em_divergence
   | Sim_failure _ -> C_sim_failure
   | Worker_error _ -> C_worker_error
+  | Bad_snapshot _ -> C_bad_snapshot
 
 let class_name = function
   | C_not_pd -> "not-pd"
@@ -31,13 +34,15 @@ let class_name = function
   | C_em_divergence -> "em-divergence"
   | C_sim_failure -> "sim-failure"
   | C_worker_error -> "worker-error"
+  | C_bad_snapshot -> "bad-snapshot"
 
 let site = function
   | Not_pd { site; _ }
   | Singular { site; _ }
   | Non_finite { site; _ }
   | Sim_failure { site; _ }
-  | Worker_error { site; _ } ->
+  | Worker_error { site; _ }
+  | Bad_snapshot { site; _ } ->
       site
   | Em_divergence _ -> "em"
 
@@ -57,6 +62,8 @@ let to_string = function
         state sample tries
   | Worker_error { site; message } ->
       Printf.sprintf "worker-error @%s: %s" site message
+  | Bad_snapshot { site; reason } ->
+      Printf.sprintf "bad-snapshot @%s: %s" site reason
 
 let () =
   Printexc.register_printer (function

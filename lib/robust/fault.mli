@@ -22,6 +22,11 @@ type t =
       (** A Monte-Carlo sample's simulation failed [tries] times. *)
   | Worker_error of { site : string; message : string }
       (** An unclassified exception escaped a pipeline stage. *)
+  | Bad_snapshot of { site : string; reason : string }
+      (** A persisted model snapshot could not be decoded at [site]
+          (truncated file, checksum mismatch, unknown format version,
+          malformed payload).  Loading never crashes on bad bytes — it
+          raises this typed fault instead. *)
 
 exception Error of t
 (** Raised when a fault cannot be recovered locally. *)
@@ -33,6 +38,7 @@ type class_ =
   | C_em_divergence
   | C_sim_failure
   | C_worker_error
+  | C_bad_snapshot
 
 val class_of : t -> class_
 

@@ -1,0 +1,64 @@
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let of_fd fd = { fd; closed = false }
+
+let connect ?(timeout = 10.0) sockaddr =
+  let domain =
+    match sockaddr with
+    | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+    | Unix.ADDR_INET _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     Unix.close fd;
+     raise e);
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+   with Unix.Unix_error _ -> ());
+  of_fd fd
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_raw t body =
+  Protocol.write_frame t.fd body;
+  Protocol.decode_reply (Protocol.read_frame t.fd)
+
+let call t req = send_raw t (Protocol.encode_request req)
+
+let err_string code message =
+  Printf.sprintf "%s: %s" (Protocol.error_code_name code) message
+
+let load_result t req =
+  match call t req with
+  | Protocol.Loaded { n_active; n_states; bytes } -> Ok (n_active, n_states, bytes)
+  | Protocol.Error { code; message } -> Error (err_string code message)
+  | _ -> Error "unexpected reply"
+
+let load_path t ~name ~path =
+  load_result t (Protocol.Load { name; source = Protocol.Path path })
+
+let load_inline t ~name ~image =
+  load_result t (Protocol.Load { name; source = Protocol.Inline image })
+
+let predict t ~name ~states ~xs =
+  match call t (Protocol.Predict { name; states; xs }) with
+  | Protocol.Predicted { means; sds } -> Ok (means, sds)
+  | Protocol.Error { code; message } -> Error (err_string code message)
+  | _ -> Error "unexpected reply"
+
+let stats t =
+  match call t Protocol.Stats with
+  | Protocol.Stats_json json -> Ok json
+  | Protocol.Error { code; message } -> Error (err_string code message)
+  | _ -> Error "unexpected reply"
+
+let shutdown t =
+  match call t Protocol.Shutdown with
+  | _ -> ()
+  | exception (Protocol.Closed | Codec.Corrupt _ | Unix.Unix_error _) -> ()

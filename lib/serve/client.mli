@@ -1,0 +1,45 @@
+(** Blocking client for the serving protocol — used by the CLI, the
+    tests and the smoke harness.  One connection, requests answered in
+    order. *)
+
+open Cbmf_linalg
+
+type t
+
+val connect : ?timeout:float -> Unix.sockaddr -> t
+(** [timeout] (default 10 s) bounds each send/receive. *)
+
+val of_fd : Unix.file_descr -> t
+(** Wrap an already-connected descriptor (e.g. one end of a
+    [socketpair] in tests).  [close] closes it. *)
+
+val close : t -> unit
+
+val call : t -> Protocol.request -> Protocol.reply
+(** One round-trip.  Raises {!Protocol.Closed} if the server hung up
+    and {!Codec.Corrupt} if the reply does not decode. *)
+
+val send_raw : t -> string -> Protocol.reply
+(** Frame an arbitrary body and read one reply — the malformed-frame
+    test hook. *)
+
+val load_path : t -> name:string -> path:string -> (int * int * int, string) result
+(** Ask the server to load a snapshot file it can reach; [Ok (n_active,
+    n_states, bytes)] on success, the server's error message otherwise. *)
+
+val load_inline : t -> name:string -> image:string -> (int * int * int, string) result
+(** Ship a snapshot image in the request body. *)
+
+val predict :
+  t ->
+  name:string ->
+  states:int array ->
+  xs:Mat.t ->
+  (float array * float array, string) result
+
+val stats : t -> (string, string) result
+(** The server's stats-JSON blob. *)
+
+val shutdown : t -> unit
+(** Fire the shutdown request; tolerates the server hanging up before
+    the reply lands. *)

@@ -1,0 +1,131 @@
+open Cbmf_linalg
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* --- Writing -------------------------------------------------------- *)
+
+type writer = { buf : Buffer.t; scratch : Bytes.t }
+
+let writer () = { buf = Buffer.create 4096; scratch = Bytes.create 8 }
+
+let contents w = Buffer.contents w.buf
+
+let length w = Buffer.length w.buf
+
+let w_u8 w v =
+  assert (v >= 0 && v <= 0xFF);
+  Buffer.add_char w.buf (Char.chr v)
+
+let w_u32 w v =
+  assert (v >= 0 && v <= 0x7FFFFFFF);
+  Bytes.set_int32_le w.scratch 0 (Int32.of_int v);
+  Buffer.add_subbytes w.buf w.scratch 0 4
+
+let w_i64 w v =
+  Bytes.set_int64_le w.scratch 0 v;
+  Buffer.add_subbytes w.buf w.scratch 0 8
+
+let w_f64 w v = w_i64 w (Int64.bits_of_float v)
+
+let w_string w s =
+  w_u32 w (String.length s);
+  Buffer.add_string w.buf s
+
+let w_f64_array w xs =
+  w_u32 w (Array.length xs);
+  Array.iter (w_f64 w) xs
+
+let w_u32_array w xs =
+  w_u32 w (Array.length xs);
+  Array.iter (w_u32 w) xs
+
+let w_mat w (m : Mat.t) =
+  w_u32 w m.Mat.rows;
+  w_u32 w m.Mat.cols;
+  Array.iter (w_f64 w) m.Mat.data
+
+(* --- Reading -------------------------------------------------------- *)
+
+type reader = { data : string; limit : int; mutable pos : int }
+
+let reader ?(pos = 0) ?len data =
+  let len = match len with Some l -> l | None -> String.length data - pos in
+  if pos < 0 || len < 0 || pos + len > String.length data then
+    invalid_arg "Codec.reader: slice out of range";
+  { data; limit = pos + len; pos }
+
+let remaining r = r.limit - r.pos
+
+let need r n what =
+  if n < 0 then corrupt "negative length for %s" what;
+  if remaining r < n then
+    corrupt "truncated: %s needs %d bytes, %d remain" what n (remaining r)
+
+let r_u8 r =
+  need r 1 "u8";
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u32 r =
+  need r 4 "u32";
+  let v = String.get_int32_le r.data r.pos in
+  r.pos <- r.pos + 4;
+  (* Counts and dimensions are never negative; a sign bit means the
+     bytes are not what we think they are. *)
+  if Int32.compare v 0l < 0 then corrupt "u32 with sign bit set";
+  Int32.to_int v
+
+let r_i64 r =
+  need r 8 "i64";
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let r_f64 r = Int64.float_of_bits (r_i64 r)
+
+let r_string ?(max_len = 16 * 1024 * 1024) r =
+  let n = r_u32 r in
+  if n > max_len then corrupt "string length %d exceeds cap %d" n max_len;
+  need r n "string body";
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_f64_array r =
+  let n = r_u32 r in
+  need r (n * 8) "f64 array body";
+  Array.init n (fun _ -> r_f64 r)
+
+let r_u32_array r =
+  let n = r_u32 r in
+  need r (n * 4) "u32 array body";
+  Array.init n (fun _ -> r_u32 r)
+
+let r_mat r =
+  let rows = r_u32 r in
+  let cols = r_u32 r in
+  if rows < 0 || cols < 0 then corrupt "negative matrix dimension";
+  if rows > 0 && cols > max_int / 8 / rows then
+    corrupt "matrix %dx%d too large" rows cols;
+  need r (rows * cols * 8) "matrix body";
+  let data = Array.init (rows * cols) (fun _ -> r_f64 r) in
+  Mat.unsafe_of_flat ~rows ~cols data
+
+let expect_end r =
+  if remaining r <> 0 then corrupt "%d trailing bytes" (remaining r)
+
+(* --- Checksum ------------------------------------------------------- *)
+
+let fnv64 ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let h = ref 0xCBF29CE484222325L in
+  for i = pos to pos + len - 1 do
+    h :=
+      Int64.mul
+        (Int64.logxor !h (Int64.of_int (Char.code (String.unsafe_get s i))))
+        0x100000001B3L
+  done;
+  !h

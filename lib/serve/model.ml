@@ -1,0 +1,170 @@
+open Cbmf_linalg
+open Cbmf_basis
+
+type t = {
+  input_dim : int;
+  n_states : int;
+  terms : Term.t array;
+  col_means : Mat.t;
+  col_scales : float array;
+  y_means : float array;
+  y_scale : float;
+  mu : Mat.t;
+  lambda : float array;
+  r : Mat.t;
+  sigma0 : float;
+  cov : Mat.t array;
+}
+
+let n_active t = Array.length t.terms
+
+let of_fit ~dict (f : Cbmf_core.Cbmf.fitted) =
+  let std = f.Cbmf_core.Cbmf.std in
+  let open Cbmf_core.Standardize in
+  if Dictionary.size dict <> std.n_basis_raw then
+    invalid_arg
+      (Printf.sprintf
+         "Model.of_fit: dictionary has %d terms but the fit saw %d"
+         (Dictionary.size dict) std.n_basis_raw);
+  let active = f.Cbmf_core.Cbmf.active in
+  let a = Array.length active in
+  let k = std.n_states in
+  let raw j = std.kept.(active.(j)) in
+  {
+    input_dim = Dictionary.input_dim dict;
+    n_states = k;
+    terms = Array.init a (fun j -> Dictionary.term dict (raw j));
+    col_means = Mat.init k a (fun s j -> Mat.get std.col_means s (raw j));
+    col_scales = Array.init a (fun j -> std.col_scales.(raw j));
+    y_means = Array.copy std.y_means;
+    y_scale = std.y_scale;
+    mu = Mat.copy f.Cbmf_core.Cbmf.mu;
+    lambda = Array.copy f.Cbmf_core.Cbmf.lambda;
+    r = Mat.copy f.Cbmf_core.Cbmf.r;
+    sigma0 = f.Cbmf_core.Cbmf.sigma0;
+    cov = Array.map Mat.copy f.Cbmf_core.Cbmf.cov;
+  }
+
+let validate t =
+  let a = Array.length t.terms and k = t.n_states in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_mat name (m : Mat.t) rows cols rest =
+    if m.Mat.rows <> rows || m.Mat.cols <> cols then
+      fail "%s is %dx%d, expected %dx%d" name m.Mat.rows m.Mat.cols rows cols
+    else if Array.length m.Mat.data <> rows * cols then
+      fail "%s data length %d inconsistent with %dx%d" name
+        (Array.length m.Mat.data) rows cols
+    else rest ()
+  in
+  if k < 1 then fail "n_states = %d" k
+  else if t.input_dim < 0 then fail "input_dim = %d" t.input_dim
+  else if Array.length t.col_scales <> a then
+    fail "col_scales length %d, expected %d" (Array.length t.col_scales) a
+  else if Array.length t.lambda <> a then
+    fail "lambda length %d, expected %d" (Array.length t.lambda) a
+  else if Array.length t.y_means <> k then
+    fail "y_means length %d, expected %d" (Array.length t.y_means) k
+  else if Array.length t.cov <> k then
+    fail "cov has %d blocks, expected %d" (Array.length t.cov) k
+  else if not (Float.is_finite t.y_scale && t.y_scale > 0.0) then
+    fail "y_scale = %g" t.y_scale
+  else if not (Float.is_finite t.sigma0 && t.sigma0 >= 0.0) then
+    fail "sigma0 = %g" t.sigma0
+  else
+    match
+      Array.find_opt
+        (fun s -> not (Float.is_finite s && s > 0.0))
+        t.col_scales
+    with
+    | Some s -> fail "non-positive column scale %g" s
+    | None -> (
+        match
+          Array.find_opt
+            (fun l -> not (Float.is_finite l && l >= 0.0))
+            t.lambda
+        with
+        | Some l -> fail "invalid lambda %g" l
+        | None -> (
+            match
+              Array.find_opt
+                (fun tm -> Term.max_variable tm >= t.input_dim)
+                t.terms
+            with
+            | Some tm ->
+                fail "term %s exceeds input_dim %d" (Term.to_string tm)
+                  t.input_dim
+            | None ->
+                check_mat "col_means" t.col_means k a (fun () ->
+                    check_mat "mu" t.mu a k (fun () ->
+                        check_mat "r" t.r k k (fun () ->
+                            let rec blocks s =
+                              if s = k then Ok ()
+                              else
+                                check_mat
+                                  (Printf.sprintf "cov[%d]" s)
+                                  t.cov.(s) a a (fun () -> blocks (s + 1))
+                            in
+                            blocks 0)))))
+
+let byte_size t =
+  let a = Array.length t.terms and k = t.n_states in
+  let floats =
+    (k * a) (* col_means *) + a (* col_scales *) + k (* y_means *)
+    + (a * k) (* mu *) + a (* lambda *) + (k * k) (* r *)
+    + (k * a * a) (* cov *)
+  in
+  (* 8 bytes per unboxed float, plus a flat allowance for headers,
+     the term array and the record itself. *)
+  (8 * floats) + (16 * a) + 256
+
+let features t ~state (x : Vec.t) =
+  if state < 0 || state >= t.n_states then
+    invalid_arg (Printf.sprintf "Model.features: state %d of %d" state t.n_states);
+  if Array.length x <> t.input_dim then
+    invalid_arg
+      (Printf.sprintf "Model.features: input length %d, expected %d"
+         (Array.length x) t.input_dim);
+  Array.init (Array.length t.terms) (fun j ->
+      (Term.eval t.terms.(j) x -. Mat.get t.col_means state j)
+      /. t.col_scales.(j))
+
+let predict t ~state x =
+  let u = features t ~state x in
+  let a = Array.length u in
+  let mean_std = ref 0.0 in
+  for j = 0 to a - 1 do
+    mean_std := !mean_std +. (u.(j) *. Mat.get t.mu j state)
+  done;
+  let w = Mat.mat_vec t.cov.(state) u in
+  let var = Vec.dot u w in
+  let mean = t.y_means.(state) +. (t.y_scale *. !mean_std) in
+  let sd = t.y_scale *. sqrt (Float.max var 0.0 +. (t.sigma0 *. t.sigma0)) in
+  (mean, sd)
+
+(* --- Bit-exact equality --------------------------------------------- *)
+
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let farr_eq xs ys =
+  Array.length xs = Array.length ys
+  && Array.for_all2 feq xs ys
+
+let mat_eq (a : Mat.t) (b : Mat.t) =
+  a.Mat.rows = b.Mat.rows && a.Mat.cols = b.Mat.cols
+  && farr_eq a.Mat.data b.Mat.data
+
+let equal t1 t2 =
+  t1.input_dim = t2.input_dim
+  && t1.n_states = t2.n_states
+  && Array.length t1.terms = Array.length t2.terms
+  && Array.for_all2 Term.equal t1.terms t2.terms
+  && mat_eq t1.col_means t2.col_means
+  && farr_eq t1.col_scales t2.col_scales
+  && farr_eq t1.y_means t2.y_means
+  && feq t1.y_scale t2.y_scale
+  && mat_eq t1.mu t2.mu
+  && farr_eq t1.lambda t2.lambda
+  && mat_eq t1.r t2.r
+  && feq t1.sigma0 t2.sigma0
+  && Array.length t1.cov = Array.length t2.cov
+  && Array.for_all2 mat_eq t1.cov t2.cov

@@ -1,0 +1,213 @@
+open Cbmf_linalg
+
+let max_frame_len = 64 * 1024 * 1024
+
+type source = Path of string | Inline of string
+
+type request =
+  | Load of { name : string; source : source }
+  | Predict of { name : string; states : int array; xs : Mat.t }
+  | Stats
+  | Shutdown
+
+type error_code =
+  | Bad_frame
+  | Unknown_op
+  | Bad_snapshot
+  | Model_not_found
+  | Bad_request
+  | Internal
+
+type reply =
+  | Loaded of { n_active : int; n_states : int; bytes : int }
+  | Predicted of { means : float array; sds : float array }
+  | Stats_json of string
+  | Shutting_down
+  | Error of { code : error_code; message : string }
+
+let error_code_name = function
+  | Bad_frame -> "bad-frame"
+  | Unknown_op -> "unknown-op"
+  | Bad_snapshot -> "bad-snapshot"
+  | Model_not_found -> "model-not-found"
+  | Bad_request -> "bad-request"
+  | Internal -> "internal"
+
+(* --- Opcodes --------------------------------------------------------- *)
+
+let op_load = 1
+let op_predict = 2
+let op_stats = 3
+let op_shutdown = 4
+
+let rep_loaded = 1
+let rep_predicted = 2
+let rep_stats = 3
+let rep_shutting_down = 4
+let rep_error = 255
+
+let code_of_int = function
+  | 1 -> Bad_frame
+  | 2 -> Unknown_op
+  | 3 -> Bad_snapshot
+  | 4 -> Model_not_found
+  | 5 -> Bad_request
+  | 6 -> Internal
+  | n -> raise (Codec.Corrupt (Printf.sprintf "unknown error code %d" n))
+
+let int_of_code = function
+  | Bad_frame -> 1
+  | Unknown_op -> 2
+  | Bad_snapshot -> 3
+  | Model_not_found -> 4
+  | Bad_request -> 5
+  | Internal -> 6
+
+(* --- Bodies ---------------------------------------------------------- *)
+
+let encode_request req =
+  let w = Codec.writer () in
+  (match req with
+  | Load { name; source } ->
+      Codec.w_u8 w op_load;
+      Codec.w_string w name;
+      (match source with
+      | Path p ->
+          Codec.w_u8 w 0;
+          Codec.w_string w p
+      | Inline image ->
+          Codec.w_u8 w 1;
+          Codec.w_string w image)
+  | Predict { name; states; xs } ->
+      Codec.w_u8 w op_predict;
+      Codec.w_string w name;
+      Codec.w_u32_array w states;
+      Codec.w_mat w xs
+  | Stats -> Codec.w_u8 w op_stats
+  | Shutdown -> Codec.w_u8 w op_shutdown);
+  Codec.contents w
+
+let decode_request body =
+  let r = Codec.reader body in
+  let op = Codec.r_u8 r in
+  let req =
+    if op = op_load then begin
+      let name = Codec.r_string ~max_len:4096 r in
+      let mode = Codec.r_u8 r in
+      let source =
+        if mode = 0 then Path (Codec.r_string ~max_len:4096 r)
+        else if mode = 1 then Inline (Codec.r_string ~max_len:max_frame_len r)
+        else
+          raise (Codec.Corrupt (Printf.sprintf "unknown load mode %d" mode))
+      in
+      Load { name; source }
+    end
+    else if op = op_predict then begin
+      let name = Codec.r_string ~max_len:4096 r in
+      let states = Codec.r_u32_array r in
+      let xs = Codec.r_mat r in
+      Predict { name; states; xs }
+    end
+    else if op = op_stats then Stats
+    else if op = op_shutdown then Shutdown
+    else raise (Codec.Corrupt (Printf.sprintf "unknown opcode %d" op))
+  in
+  Codec.expect_end r;
+  req
+
+let encode_reply rep =
+  let w = Codec.writer () in
+  (match rep with
+  | Loaded { n_active; n_states; bytes } ->
+      Codec.w_u8 w rep_loaded;
+      Codec.w_u32 w n_active;
+      Codec.w_u32 w n_states;
+      Codec.w_u32 w bytes
+  | Predicted { means; sds } ->
+      Codec.w_u8 w rep_predicted;
+      Codec.w_f64_array w means;
+      Codec.w_f64_array w sds
+  | Stats_json json ->
+      Codec.w_u8 w rep_stats;
+      Codec.w_string w json
+  | Shutting_down -> Codec.w_u8 w rep_shutting_down
+  | Error { code; message } ->
+      Codec.w_u8 w rep_error;
+      Codec.w_u8 w (int_of_code code);
+      Codec.w_string w message);
+  Codec.contents w
+
+let decode_reply body =
+  let r = Codec.reader body in
+  let tag = Codec.r_u8 r in
+  let rep =
+    if tag = rep_loaded then
+      let n_active = Codec.r_u32 r in
+      let n_states = Codec.r_u32 r in
+      let bytes = Codec.r_u32 r in
+      Loaded { n_active; n_states; bytes }
+    else if tag = rep_predicted then
+      let means = Codec.r_f64_array r in
+      let sds = Codec.r_f64_array r in
+      Predicted { means; sds }
+    else if tag = rep_stats then Stats_json (Codec.r_string r)
+    else if tag = rep_shutting_down then Shutting_down
+    else if tag = rep_error then
+      let code = code_of_int (Codec.r_u8 r) in
+      let message = Codec.r_string ~max_len:65536 r in
+      Error { code; message }
+    else raise (Codec.Corrupt (Printf.sprintf "unknown reply tag %d" tag))
+  in
+  Codec.expect_end r;
+  rep
+
+(* --- Framing --------------------------------------------------------- *)
+
+exception Closed
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let write_frame fd body =
+  let len = String.length body in
+  if len > max_frame_len then
+    invalid_arg (Printf.sprintf "Protocol.write_frame: %d bytes" len);
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_le buf 0 (Int32.of_int len);
+  Bytes.blit_string body 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+(* Read exactly [len] bytes; [at_boundary] distinguishes a clean EOF
+   (peer hung up between frames) from a torn frame. *)
+let read_exact fd len ~at_boundary =
+  let buf = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let n =
+      try Unix.read fd buf !pos (len - !pos)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    if n = 0 && len - !pos > 0 then
+      if at_boundary && !pos = 0 then raise Closed
+      else
+        raise
+          (Codec.Corrupt
+             (Printf.sprintf "connection closed mid-frame (%d of %d bytes)"
+                !pos len));
+    pos := !pos + n
+  done;
+  Bytes.unsafe_to_string buf
+
+let read_frame fd =
+  let header = read_exact fd 4 ~at_boundary:true in
+  let len = Int32.to_int (String.get_int32_le header 0) in
+  if len < 0 || len > max_frame_len then
+    raise (Codec.Corrupt (Printf.sprintf "frame length %d out of range" len));
+  if len = 0 then ""
+  else read_exact fd len ~at_boundary:false

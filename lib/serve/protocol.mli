@@ -1,0 +1,72 @@
+(** The length-prefixed binary wire protocol.
+
+    Every frame on the wire is a u32 little-endian byte length followed
+    by that many body bytes; bodies are {!Codec} encodings of one
+    {!request} or one {!reply}.  Frames above {!max_frame_len} are
+    rejected before allocation — a hostile length prefix cannot make
+    the server allocate gigabytes.
+
+    Decoding never trusts the peer: any malformed body raises
+    {!Codec.Corrupt}, which the server answers with a typed
+    [`Bad_frame] {!reply} error instead of dying. *)
+
+open Cbmf_linalg
+
+val max_frame_len : int
+(** 64 MiB. *)
+
+(** {1 Messages} *)
+
+type source =
+  | Path of string  (** a snapshot file the server can reach *)
+  | Inline of string  (** a full snapshot image shipped in the request *)
+
+type request =
+  | Load of { name : string; source : source }
+  | Predict of { name : string; states : int array; xs : Mat.t }
+  | Stats
+  | Shutdown
+
+type error_code =
+  | Bad_frame  (** the body did not decode *)
+  | Unknown_op  (** valid frame, unknown opcode (a newer client?) *)
+  | Bad_snapshot  (** a {!Cbmf_robust.Fault.Bad_snapshot} during load *)
+  | Model_not_found
+  | Bad_request  (** shape/state errors from the engine *)
+  | Internal  (** anything else; the server stays up *)
+
+type reply =
+  | Loaded of { n_active : int; n_states : int; bytes : int }
+  | Predicted of { means : float array; sds : float array }
+  | Stats_json of string
+  | Shutting_down
+  | Error of { code : error_code; message : string }
+
+val error_code_name : error_code -> string
+
+(** {1 Encoding} *)
+
+val encode_request : request -> string
+
+val decode_request : string -> request
+(** Raises {!Codec.Corrupt} on malformed bodies. *)
+
+val encode_reply : reply -> string
+
+val decode_reply : string -> reply
+(** Raises {!Codec.Corrupt} on malformed bodies. *)
+
+(** {1 Framing} *)
+
+exception Closed
+(** The peer closed the connection at a frame boundary. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Length prefix + body, handling short writes.  Raises
+    [Invalid_argument] on bodies above {!max_frame_len}. *)
+
+val read_frame : Unix.file_descr -> string
+(** One whole frame.  Raises {!Closed} on EOF at a boundary,
+    {!Codec.Corrupt} on an oversized length prefix or EOF mid-frame,
+    and lets [Unix_error (EAGAIN, _, _)] (a socket receive timeout)
+    propagate. *)

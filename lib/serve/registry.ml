@@ -1,0 +1,157 @@
+type slot = {
+  path : string option;  (* backing snapshot, if any *)
+  mutable model : Model.t option;
+  mutable bytes : int;  (* 0 unless resident *)
+  mutable last_use : int;  (* LRU tick *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  loads : int;
+  evictions : int;
+  resident_bytes : int;
+  resident_models : int;
+  max_bytes : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  slots : (string, slot) Hashtbl.t;
+  max_bytes : int;
+  mutable tick : int;
+  mutable resident : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable loads : int;
+  mutable evictions : int;
+}
+
+let create ?(max_bytes = 256 * 1024 * 1024) () =
+  {
+    lock = Mutex.create ();
+    slots = Hashtbl.create 16;
+    max_bytes;
+    tick = 0;
+    resident = 0;
+    hits = 0;
+    misses = 0;
+    loads = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let drop_resident t name slot =
+  (match slot.model with
+  | Some _ ->
+      t.resident <- t.resident - slot.bytes;
+      slot.model <- None;
+      slot.bytes <- 0
+  | None -> ());
+  if slot.path = None then Hashtbl.remove t.slots name
+
+(* Evict LRU resident slots (other than [keep]) until the budget holds
+   or nothing evictable remains. *)
+let enforce_budget t ~keep =
+  let continue_ = ref true in
+  while t.resident > t.max_bytes && !continue_ do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun name slot ->
+        if slot.model <> None && name <> keep then
+          match !victim with
+          | Some (_, v) when v.last_use <= slot.last_use -> ()
+          | _ -> victim := Some (name, slot))
+      t.slots;
+    match !victim with
+    | None -> continue_ := false
+    | Some (name, slot) ->
+        drop_resident t name slot;
+        t.evictions <- t.evictions + 1
+  done
+
+let put t ~name model =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.slots name with
+      | Some old -> drop_resident t name old
+      | None -> ());
+      Hashtbl.remove t.slots name;
+      let bytes = Model.byte_size model in
+      Hashtbl.replace t.slots name
+        { path = None; model = Some model; bytes; last_use = next_tick t };
+      t.resident <- t.resident + bytes;
+      enforce_budget t ~keep:name)
+
+let add_path t ~name path =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.slots name with
+      | Some old -> drop_resident t name old
+      | None -> ());
+      Hashtbl.remove t.slots name;
+      Hashtbl.replace t.slots name
+        { path = Some path; model = None; bytes = 0; last_use = next_tick t })
+
+let lookup t ~name =
+  match Hashtbl.find_opt t.slots name with
+  | None -> None
+  | Some slot ->
+      slot.last_use <- next_tick t;
+      (match slot.model with
+      | Some m ->
+          t.hits <- t.hits + 1;
+          Some m
+      | None ->
+          t.misses <- t.misses + 1;
+          let path = Option.get slot.path in
+          let m = Snapshot.load ~path in
+          t.loads <- t.loads + 1;
+          let bytes = Model.byte_size m in
+          slot.model <- Some m;
+          slot.bytes <- bytes;
+          t.resident <- t.resident + bytes;
+          enforce_budget t ~keep:name;
+          Some m)
+
+let find t ~name = locked t (fun () -> lookup t ~name)
+
+let get t ~name =
+  match find t ~name with Some m -> m | None -> raise Not_found
+
+let remove t ~name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.slots name with
+      | None -> ()
+      | Some slot ->
+          (match slot.model with
+          | Some _ -> t.resident <- t.resident - slot.bytes
+          | None -> ());
+          Hashtbl.remove t.slots name)
+
+let names t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.slots []
+      |> List.sort String.compare)
+
+let stats t =
+  locked t (fun () ->
+      let resident_models =
+        Hashtbl.fold
+          (fun _ slot acc -> if slot.model <> None then acc + 1 else acc)
+          t.slots 0
+      in
+      {
+        hits = t.hits;
+        misses = t.misses;
+        loads = t.loads;
+        evictions = t.evictions;
+        resident_bytes = t.resident;
+        resident_models;
+        max_bytes = t.max_bytes;
+      })

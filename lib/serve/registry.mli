@@ -1,0 +1,56 @@
+(** Warm model registry: named slots, lazy loading, LRU eviction.
+
+    A slot is either {e resident} (the decoded {!Model.t} is in memory)
+    or {e lazy} (only a snapshot path is registered; the first {!get}
+    loads it).  Resident bytes are bounded by a configurable budget:
+    whenever an insert or load pushes the total over it, the
+    least-recently-used resident slots are evicted — path-backed slots
+    demote back to lazy (a later hit reloads them), while slots that
+    were {!put} directly are dropped for good.  The slot just touched
+    is never evicted, so a single model larger than the whole budget
+    still serves (the budget is then simply exceeded by that one
+    model).
+
+    All operations are thread-safe (one mutex; loading happens inside
+    it, so two threads racing on the same cold slot decode once). *)
+
+type t
+
+val create : ?max_bytes:int -> unit -> t
+(** [max_bytes] defaults to 256 MiB. *)
+
+val put : t -> name:string -> Model.t -> unit
+(** Insert or replace a resident model (no backing path). *)
+
+val add_path : t -> name:string -> string -> unit
+(** Register a snapshot file under [name] without loading it.  Replaces
+    any existing slot of that name (the old resident model, if any, is
+    released). *)
+
+val get : t -> name:string -> Model.t
+(** Resident slot: a cache hit.  Lazy slot: loads the snapshot (a
+    cache miss — {!Snapshot.load} faults propagate and the slot stays
+    lazy).  Unknown name: raises [Not_found]. *)
+
+val find : t -> name:string -> Model.t option
+(** Like {!get} but [None] on unknown names.  Loading faults still
+    propagate — an unreadable registered snapshot is an error, not an
+    absence. *)
+
+val remove : t -> name:string -> unit
+(** Forget the slot entirely (no-op on unknown names). *)
+
+val names : t -> string list
+(** Registered names, sorted. *)
+
+type stats = {
+  hits : int;  (** [get]/[find] served from a resident slot *)
+  misses : int;  (** [get]/[find] that had to load from disk *)
+  loads : int;  (** successful snapshot loads *)
+  evictions : int;  (** slots evicted or demoted by the budget *)
+  resident_bytes : int;
+  resident_models : int;
+  max_bytes : int;
+}
+
+val stats : t -> stats

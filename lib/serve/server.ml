@@ -1,0 +1,342 @@
+open Cbmf_robust
+
+type config = {
+  workers : int;
+  timeout : float;
+  backlog : int;
+  queue_cap : int;
+}
+
+let default_config = { workers = 4; timeout = 10.0; backlog = 16; queue_cap = 8 }
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  stats : Stats.t;
+  listen_fd : Unix.file_descr;
+  bound : Unix.sockaddr;
+  unix_path : string option;  (* socket file to unlink on stop *)
+  pipe_rd : Unix.file_descr;
+  pipe_wr : Unix.file_descr;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : Unix.file_descr Queue.t;
+  mutable stopping : bool;
+  mutable joined : bool;
+  mutable threads : Thread.t list;
+}
+
+let registry t = t.registry
+
+let stats t = t.stats
+
+let addr t = t.bound
+
+(* --- Bounded connection queue ---------------------------------------- *)
+
+let enqueue t fd =
+  Mutex.lock t.lock;
+  while Queue.length t.queue >= t.config.queue_cap && not t.stopping do
+    Condition.wait t.not_full t.lock
+  done;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    Unix.close fd
+  end
+  else begin
+    Queue.push fd t.queue;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.lock
+  end
+
+let dequeue t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.not_empty t.lock
+  done;
+  let conn =
+    if Queue.is_empty t.queue then None
+    else begin
+      let fd = Queue.pop t.queue in
+      Condition.signal t.not_full;
+      Some fd
+    end
+  in
+  Mutex.unlock t.lock;
+  conn
+
+(* --- Request handling ------------------------------------------------- *)
+
+let op_of_request = function
+  | Protocol.Load _ -> "load"
+  | Protocol.Predict _ -> "predict"
+  | Protocol.Stats -> "stats"
+  | Protocol.Shutdown -> "shutdown"
+
+let batch_of_request = function
+  | Protocol.Predict { states; _ } -> Some (Array.length states)
+  | _ -> None
+
+let request_stop t =
+  Mutex.lock t.lock;
+  let first = not t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.lock;
+  if first then
+    (* Wake the acceptor out of select. *)
+    try ignore (Unix.write t.pipe_wr (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+(* Request handling is parameterized by a context so a pre-connected
+   descriptor (e.g. one end of a socketpair) can be served without a
+   listener — see [serve_fd]. *)
+type ctx = {
+  c_registry : Registry.t;
+  c_stats : Stats.t;
+  on_shutdown : unit -> unit;
+}
+
+let handle_request ctx req =
+  match req with
+  | Protocol.Load { name; source } -> (
+      try
+        let model =
+          match source with
+          | Protocol.Path path ->
+              Registry.add_path ctx.c_registry ~name path;
+              Registry.get ctx.c_registry ~name
+          | Protocol.Inline image ->
+              let m = Snapshot.decode ~site:"serve.decode" image in
+              Registry.put ctx.c_registry ~name m;
+              m
+        in
+        ( Protocol.Loaded
+            {
+              n_active = Model.n_active model;
+              n_states = model.Model.n_states;
+              bytes = Model.byte_size model;
+            },
+          true )
+      with Fault.Error (Fault.Bad_snapshot _ as f) ->
+        ( Protocol.Error
+            { code = Protocol.Bad_snapshot; message = Fault.to_string f },
+          true ))
+  | Protocol.Predict { name; states; xs } -> (
+      match Registry.find ctx.c_registry ~name with
+      | None ->
+          ( Protocol.Error
+              {
+                code = Protocol.Model_not_found;
+                message = Printf.sprintf "no model %S" name;
+              },
+            true )
+      | Some model -> (
+          try
+            let means, sds = Engine.predict_batch model ~states ~xs in
+            (Protocol.Predicted { means; sds }, true)
+          with Invalid_argument msg ->
+            (Protocol.Error { code = Protocol.Bad_request; message = msg }, true)
+          )
+      | exception Fault.Error (Fault.Bad_snapshot _ as f) ->
+          ( Protocol.Error
+              { code = Protocol.Bad_snapshot; message = Fault.to_string f },
+            true ))
+  | Protocol.Stats ->
+      let json =
+        Stats.to_json
+          ~extra:
+            [ ("registry", Stats.registry_json (Registry.stats ctx.c_registry))
+            ]
+          ctx.c_stats
+      in
+      (Protocol.Stats_json json, true)
+  | Protocol.Shutdown ->
+      ctx.on_shutdown ();
+      (Protocol.Shutting_down, false)
+
+let is_timeout = function
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> true
+  | _ -> false
+
+let serve_connection ctx fd =
+  let continue_ = ref true in
+  while !continue_ do
+    match Protocol.read_frame fd with
+    | exception Protocol.Closed -> continue_ := false
+    | exception Codec.Corrupt msg ->
+        (* Torn frame or hostile length prefix: the stream cannot be
+           resynchronized.  Best-effort typed error, then hang up. *)
+        Stats.record ctx.c_stats ~op:"bad-frame" ~ok:false ~seconds:0.0;
+        (try
+           Protocol.write_frame fd
+             (Protocol.encode_reply
+                (Protocol.Error { code = Protocol.Bad_frame; message = msg }))
+         with _ -> ());
+        continue_ := false
+    | exception e when is_timeout e -> continue_ := false
+    | exception Unix.Unix_error _ -> continue_ := false
+    | body -> (
+        let t0 = Unix.gettimeofday () in
+        match Protocol.decode_request body with
+        | exception Codec.Corrupt msg ->
+            (* The frame was well delimited, so the stream is still in
+               sync — reply and keep the connection. *)
+            Stats.record ctx.c_stats ~op:"bad-frame" ~ok:false
+              ~seconds:(Unix.gettimeofday () -. t0);
+            (try
+               Protocol.write_frame fd
+                 (Protocol.encode_reply
+                    (Protocol.Error
+                       { code = Protocol.Bad_frame; message = msg }))
+             with _ -> continue_ := false)
+        | req ->
+            let op = op_of_request req in
+            let batch = batch_of_request req in
+            let reply, keep =
+              try handle_request ctx req
+              with e ->
+                ( Protocol.Error
+                    { code = Protocol.Internal; message = Printexc.to_string e },
+                  true )
+            in
+            let ok =
+              match reply with Protocol.Error _ -> false | _ -> true
+            in
+            Stats.record ?batch ctx.c_stats ~op ~ok
+              ~seconds:(Unix.gettimeofday () -. t0);
+            (try Protocol.write_frame fd (Protocol.encode_reply reply)
+             with _ -> continue_ := false);
+            if not keep then continue_ := false)
+  done;
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_fd ?stats ~registry fd =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  serve_connection
+    { c_registry = registry; c_stats = stats; on_shutdown = (fun () -> ()) }
+    fd
+
+let worker_loop t =
+  let ctx =
+    {
+      c_registry = t.registry;
+      c_stats = t.stats;
+      on_shutdown = (fun () -> request_stop t);
+    }
+  in
+  let rec loop () =
+    match dequeue t with
+    | None -> ()
+    | Some fd ->
+        serve_connection ctx fd;
+        loop ()
+  in
+  loop ()
+
+let acceptor_loop t =
+  let continue_ = ref true in
+  while !continue_ do
+    (match Unix.select [ t.listen_fd; t.pipe_rd ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        if List.mem t.pipe_rd ready then continue_ := false
+        else if List.mem t.listen_fd ready then begin
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+              (try
+                 Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.timeout;
+                 Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.timeout
+               with Unix.Unix_error _ -> ());
+              enqueue t fd
+        end);
+    Mutex.lock t.lock;
+    if t.stopping then continue_ := false;
+    Mutex.unlock t.lock
+  done
+
+let start ?(config = default_config) ?registry ?stats sockaddr =
+  let registry =
+    match registry with Some r -> r | None -> Registry.create ()
+  in
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let domain =
+    match sockaddr with
+    | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+    | Unix.ADDR_INET _ -> Unix.PF_INET
+  in
+  let unix_path =
+    match sockaddr with
+    | Unix.ADDR_UNIX path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        Some path
+    | _ -> None
+  in
+  let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try
+     if domain = Unix.PF_INET then
+       Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+   with Unix.Unix_error _ -> ());
+  (try
+     Unix.bind listen_fd sockaddr;
+     Unix.listen listen_fd config.backlog
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  let bound = Unix.getsockname listen_fd in
+  let pipe_rd, pipe_wr = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      config;
+      registry;
+      stats;
+      listen_fd;
+      bound;
+      unix_path;
+      pipe_rd;
+      pipe_wr;
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      joined = false;
+      threads = [];
+    }
+  in
+  let workers =
+    List.init (max 1 config.workers) (fun _ -> Thread.create worker_loop t)
+  in
+  let acceptor = Thread.create acceptor_loop t in
+  t.threads <- acceptor :: workers;
+  t
+
+let wait t =
+  let to_join =
+    Mutex.lock t.lock;
+    let ts = if t.joined then [] else t.threads in
+    t.joined <- true;
+    Mutex.unlock t.lock;
+    ts
+  in
+  List.iter Thread.join to_join;
+  if to_join <> [] then begin
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.pipe_rd with Unix.Unix_error _ -> ());
+    (try Unix.close t.pipe_wr with Unix.Unix_error _ -> ());
+    (match t.unix_path with
+    | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | None -> ());
+    Mutex.lock t.lock;
+    Queue.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.queue;
+    Queue.clear t.queue;
+    Mutex.unlock t.lock
+  end
+
+let stop t =
+  request_stop t;
+  wait t

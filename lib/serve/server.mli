@@ -1,0 +1,65 @@
+(** Concurrent snapshot-serving socket server.
+
+    One acceptor thread multiplexes the listening socket against a
+    self-pipe (so shutdown interrupts a blocking accept); accepted
+    connections go through a bounded queue to a fixed pool of worker
+    threads, each of which serves its connection's requests
+    sequentially until the peer hangs up, a timeout fires, or the
+    framing desynchronizes.
+
+    {b Failure semantics.}  A request that fails — malformed body,
+    unknown snapshot, shape mismatch, a typed {!Cbmf_robust.Fault}
+    during load — produces a typed {!Protocol.Error} reply on the same
+    connection; the server never dies on bad input.  Only two things
+    end a connection from the server side: an unrecoverable framing
+    error (torn frame or hostile length prefix — the stream cannot be
+    resynchronized) and the per-request socket timeout.
+
+    Works identically over Unix-domain ([ADDR_UNIX path]) and TCP
+    ([ADDR_INET]) sockets. *)
+
+type config = {
+  workers : int;  (** worker threads (default 4) *)
+  timeout : float;  (** per-request socket send/receive timeout, s (default 10) *)
+  backlog : int;  (** listen backlog (default 16) *)
+  queue_cap : int;  (** pending-connection bound (default 2·workers) *)
+}
+
+val default_config : config
+
+val serve_fd : ?stats:Stats.t -> registry:Registry.t -> Unix.file_descr -> unit
+(** Serve one pre-connected descriptor until the peer hangs up — no
+    listener, no threads, same request handling and failure semantics
+    as the full server.  A [Shutdown] request simply ends the
+    connection.  The descriptor is closed on return.  This is the
+    socketpair-loopback entry point the tests (and embedders) use. *)
+
+type t
+
+val start :
+  ?config:config ->
+  ?registry:Registry.t ->
+  ?stats:Stats.t ->
+  Unix.sockaddr ->
+  t
+(** Bind, listen and spawn the acceptor + workers.  For [ADDR_UNIX] a
+    stale socket file is unlinked first; for [ADDR_INET] the socket is
+    [SO_REUSEADDR] and port 0 picks a free port (see {!addr}). *)
+
+val addr : t -> Unix.sockaddr
+(** The actually bound address. *)
+
+val registry : t -> Registry.t
+
+val stats : t -> Stats.t
+
+val request_stop : t -> unit
+(** Signal shutdown without joining — safe from a worker thread (this
+    is what a [Shutdown] request does). *)
+
+val wait : t -> unit
+(** Block until all threads exit.  Call from the thread that owns the
+    server, not from a worker. *)
+
+val stop : t -> unit
+(** [request_stop] then [wait]; idempotent. *)

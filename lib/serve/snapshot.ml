@@ -1,0 +1,174 @@
+open Cbmf_basis
+open Cbmf_robust
+
+let magic = "CBMFSNAP"
+
+let format_version = 1
+
+let header_len = 32
+
+let bad site fmt =
+  Printf.ksprintf
+    (fun reason -> raise (Fault.Error (Fault.Bad_snapshot { site; reason })))
+    fmt
+
+(* --- Payload (version 1) -------------------------------------------- *)
+
+let tag_constant = 0
+let tag_linear = 1
+let tag_square = 2
+let tag_cross = 3
+
+let w_term w = function
+  | Term.Constant -> Codec.w_u8 w tag_constant
+  | Term.Linear i ->
+      Codec.w_u8 w tag_linear;
+      Codec.w_u32 w i
+  | Term.Square i ->
+      Codec.w_u8 w tag_square;
+      Codec.w_u32 w i
+  | Term.Cross (i, j) ->
+      Codec.w_u8 w tag_cross;
+      Codec.w_u32 w i;
+      Codec.w_u32 w j
+
+let r_term r =
+  let tag = Codec.r_u8 r in
+  if tag = tag_constant then Term.Constant
+  else if tag = tag_linear then Term.Linear (Codec.r_u32 r)
+  else if tag = tag_square then Term.Square (Codec.r_u32 r)
+  else if tag = tag_cross then
+    let i = Codec.r_u32 r in
+    let j = Codec.r_u32 r in
+    Term.Cross (i, j)
+  else raise (Codec.Corrupt (Printf.sprintf "unknown term tag %d" tag))
+
+let encode_payload (m : Model.t) =
+  let w = Codec.writer () in
+  Codec.w_u32 w m.Model.input_dim;
+  Codec.w_u32 w m.Model.n_states;
+  Codec.w_u32 w (Array.length m.Model.terms);
+  Array.iter (w_term w) m.Model.terms;
+  Codec.w_mat w m.Model.col_means;
+  Codec.w_f64_array w m.Model.col_scales;
+  Codec.w_f64_array w m.Model.y_means;
+  Codec.w_f64 w m.Model.y_scale;
+  Codec.w_mat w m.Model.mu;
+  Codec.w_f64_array w m.Model.lambda;
+  Codec.w_mat w m.Model.r;
+  Codec.w_f64 w m.Model.sigma0;
+  Array.iter (Codec.w_mat w) m.Model.cov;
+  Codec.contents w
+
+let decode_payload ~site payload =
+  let r = Codec.reader payload in
+  let input_dim = Codec.r_u32 r in
+  let n_states = Codec.r_u32 r in
+  let a = Codec.r_u32 r in
+  if a > 1_000_000 then
+    raise (Codec.Corrupt (Printf.sprintf "absurd active count %d" a));
+  let terms = Array.init a (fun _ -> r_term r) in
+  let col_means = Codec.r_mat r in
+  let col_scales = Codec.r_f64_array r in
+  let y_means = Codec.r_f64_array r in
+  let y_scale = Codec.r_f64 r in
+  let mu = Codec.r_mat r in
+  let lambda = Codec.r_f64_array r in
+  let rr = Codec.r_mat r in
+  let sigma0 = Codec.r_f64 r in
+  if n_states < 0 || n_states > 1_000_000 then
+    raise (Codec.Corrupt (Printf.sprintf "absurd state count %d" n_states));
+  let cov = Array.init n_states (fun _ -> Codec.r_mat r) in
+  Codec.expect_end r;
+  let m =
+    {
+      Model.input_dim;
+      n_states;
+      terms;
+      col_means;
+      col_scales;
+      y_means;
+      y_scale;
+      mu;
+      lambda;
+      r = rr;
+      sigma0;
+      cov;
+    }
+  in
+  (match Model.validate m with
+  | Ok () -> ()
+  | Error reason -> bad site "inconsistent model: %s" reason);
+  m
+
+(* --- Image ----------------------------------------------------------- *)
+
+let encode m =
+  let payload = encode_payload m in
+  let w = Codec.writer () in
+  String.iter (fun c -> Codec.w_u8 w (Char.code c)) magic;
+  Codec.w_u32 w format_version;
+  Codec.w_u32 w 0;
+  Codec.w_i64 w (Int64.of_int (String.length payload));
+  Codec.w_i64 w (Codec.fnv64 payload);
+  Codec.contents w ^ payload
+
+let decode ?(site = "snapshot.load") image =
+  if Inject.fire ~site:"serve.decode" then
+    bad site "injected decode fault";
+  let n = String.length image in
+  if n < header_len then bad site "truncated header: %d bytes" n;
+  if String.sub image 0 8 <> magic then bad site "bad magic";
+  let hr = Codec.reader ~pos:8 ~len:24 image in
+  let version, payload_len, checksum =
+    try
+      let v = Codec.r_u32 hr in
+      let reserved = Codec.r_u32 hr in
+      if reserved <> 0 then raise (Codec.Corrupt "reserved field not 0");
+      let len = Codec.r_i64 hr in
+      let sum = Codec.r_i64 hr in
+      (v, len, sum)
+    with Codec.Corrupt reason -> bad site "bad header: %s" reason
+  in
+  if version <> format_version then
+    bad site "unknown format version %d (this build reads %d)" version
+      format_version;
+  if
+    Int64.compare payload_len 0L < 0
+    || Int64.compare payload_len (Int64.of_int (n - header_len)) > 0
+  then
+    bad site "payload length %Ld disagrees with file size %d" payload_len n;
+  if Int64.to_int payload_len <> n - header_len then
+    bad site "trailing bytes after payload (%d past the declared %Ld)"
+      (n - header_len) payload_len;
+  let payload = String.sub image header_len (Int64.to_int payload_len) in
+  let actual = Codec.fnv64 payload in
+  if not (Int64.equal actual checksum) then
+    bad site "checksum mismatch (stored %Lx, computed %Lx)" checksum actual;
+  try decode_payload ~site payload
+  with Codec.Corrupt reason -> bad site "malformed payload: %s" reason
+
+let save ~path m =
+  let image = encode m in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try output_string oc image
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let load ~path =
+  let site = "snapshot.load" in
+  let image =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | Sys_error msg -> bad site "cannot read %s: %s" path msg
+    | End_of_file -> bad site "cannot read %s: unexpected end of file" path
+  in
+  decode ~site image

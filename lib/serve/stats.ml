@@ -1,0 +1,123 @@
+(* Log-spaced 1–2–5 bucket edges, 1 µs to 10 s, plus +inf overflow. *)
+let bucket_edges_us =
+  [|
+    1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 2e3; 5e3; 1e4; 2e4; 5e4;
+    1e5; 2e5; 5e5; 1e6; 2e6; 5e6; 1e7; infinity;
+  |]
+
+let n_buckets = Array.length bucket_edges_us
+
+type t = {
+  lock : Mutex.t;
+  ops : (string, int) Hashtbl.t;
+  mutable errors : int;
+  mutable points : int;
+  mutable max_batch : int;
+  hist : int array;
+  mutable total : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    ops = Hashtbl.create 8;
+    errors = 0;
+    points = 0;
+    max_batch = 0;
+    hist = Array.make n_buckets 0;
+    total = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let bucket_of_us us =
+  let i = ref 0 in
+  while us > bucket_edges_us.(!i) do incr i done;
+  !i
+
+let record ?batch t ~op ~ok ~seconds =
+  locked t (fun () ->
+      Hashtbl.replace t.ops op
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.ops op));
+      if not ok then t.errors <- t.errors + 1;
+      (match batch with
+      | Some b ->
+          t.points <- t.points + b;
+          if b > t.max_batch then t.max_batch <- b
+      | None -> ());
+      let us = Float.max 0.0 (seconds *. 1e6) in
+      t.hist.(bucket_of_us us) <- t.hist.(bucket_of_us us) + 1;
+      t.total <- t.total + 1)
+
+let quantile_unlocked t q =
+  if t.total = 0 then 0.0
+  else begin
+    let target = Float.of_int t.total *. q in
+    let acc = ref 0 in
+    let i = ref 0 in
+    while !i < n_buckets - 1 && Float.of_int (!acc + t.hist.(!i)) < target do
+      acc := !acc + t.hist.(!i);
+      incr i
+    done;
+    bucket_edges_us.(!i)
+  end
+
+let quantile_us t q = locked t (fun () -> quantile_unlocked t q)
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let to_json ?(extra = []) t =
+  locked t (fun () ->
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf "{\"requests\":{";
+      let ops =
+        Hashtbl.fold (fun op n acc -> (op, n) :: acc) t.ops []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iteri
+        (fun i (op, n) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "%S:%d" op n))
+        ops;
+      Buffer.add_string buf "},";
+      Buffer.add_string buf (Printf.sprintf "\"errors\":%d," t.errors);
+      Buffer.add_string buf (Printf.sprintf "\"points\":%d," t.points);
+      Buffer.add_string buf (Printf.sprintf "\"max_batch\":%d," t.max_batch);
+      Buffer.add_string buf "\"latency_us\":{";
+      Buffer.add_string buf
+        (Printf.sprintf "\"count\":%d,\"p50\":%s,\"p99\":%s,\"buckets\":["
+           t.total
+           (json_float (quantile_unlocked t 0.5))
+           (json_float (quantile_unlocked t 0.99)));
+      let first = ref true in
+      for i = 0 to n_buckets - 1 do
+        if t.hist.(i) > 0 then begin
+          if not !first then Buffer.add_char buf ',';
+          first := false;
+          let edge =
+            if Float.is_finite bucket_edges_us.(i) then
+              json_float bucket_edges_us.(i)
+            else "\"inf\""
+          in
+          Buffer.add_string buf (Printf.sprintf "[%s,%d]" edge t.hist.(i))
+        end
+      done;
+      Buffer.add_string buf "]}";
+      List.iter
+        (fun (name, value) ->
+          Buffer.add_string buf (Printf.sprintf ",%S:%s" name value))
+        extra;
+      Buffer.add_char buf '}';
+      Buffer.contents buf)
+
+let registry_json (r : Registry.stats) =
+  Printf.sprintf
+    "{\"hits\":%d,\"misses\":%d,\"loads\":%d,\"evictions\":%d,\
+     \"resident_bytes\":%d,\"resident_models\":%d,\"max_bytes\":%d}"
+    r.Registry.hits r.Registry.misses r.Registry.loads r.Registry.evictions
+    r.Registry.resident_bytes r.Registry.resident_models r.Registry.max_bytes

@@ -1,0 +1,31 @@
+(** Thread-safe serving counters and a fixed-bucket latency histogram.
+
+    Latencies land in log-spaced microsecond buckets (1–2–5 per
+    decade, 1 µs to 10 s); p50/p99 are read off the histogram as the
+    upper edge of the bucket where the cumulative count crosses the
+    quantile — coarse, allocation-free, and stable under concurrency.
+
+    {!to_json} renders everything as one JSON object (hand-rolled —
+    no JSON dependency) whose schema the serve smoke test validates. *)
+
+type t
+
+val create : unit -> t
+
+val record : ?batch:int -> t -> op:string -> ok:bool -> seconds:float -> unit
+(** Count one request of kind [op] ("load", "predict", "stats", …),
+    its batch size if any, whether it succeeded, and its wall-clock
+    latency. *)
+
+val quantile_us : t -> float -> float
+(** Upper bucket edge (µs) at the given quantile in [0, 1]; 0 when
+    nothing was recorded. *)
+
+val to_json : ?extra:(string * string) list -> t -> string
+(** One JSON object: per-op request counts, error count, total points,
+    max batch size, p50/p99 and the non-empty histogram buckets.
+    [extra] appends pre-rendered members (e.g.
+    [("registry", registry_json)]). *)
+
+val registry_json : Registry.stats -> string
+(** The registry counters as a JSON object, for {!to_json}'s [extra]. *)

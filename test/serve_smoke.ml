@@ -1,0 +1,194 @@
+(* Serving smoke test.
+
+   Run by the `serve-smoke` dune alias with CBMF_DOMAINS=2: fits a
+   tiny LNA model, saves and reloads its snapshot (bit-identical),
+   checks the batch engine against the scalar path and across domain
+   counts, then drives a real server over a temp Unix socket — 100
+   batched predict requests, a malformed frame, an unknown model, an
+   injection-armed decode failure — and validates the stats-JSON
+   schema.  Exits nonzero on any failure. *)
+
+open Cbmf_linalg
+open Cbmf_serve
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "serve-smoke FAIL: %s\n%!" name
+  end
+
+let bits_eq xs ys =
+  Array.length xs = Array.length ys
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       xs ys
+
+let () =
+  check "CBMF_DOMAINS=2 honored" (Cbmf_parallel.Pool.env_domains () = 2);
+
+  (* --- Tiny LNA fit -> serving model ------------------------------- *)
+  let w = Cbmf_experiments.Workload.lna () in
+  let data =
+    Cbmf_experiments.Workload.generate w ~seed:3 ~n_train_max:4
+      ~n_test_per_state:2
+  in
+  let train =
+    Cbmf_experiments.Workload.train_dataset data ~poi:0 ~n_per_state:4
+  in
+  let fitted = Cbmf_core.Cbmf.fit ~config:Cbmf_core.Cbmf.fast_config train in
+  let model =
+    Model.of_fit
+      ~dict:w.Cbmf_experiments.Workload.dictionary
+      (Cbmf_core.Cbmf.fitted_view fitted)
+  in
+  check "model validates" (Model.validate model = Ok ());
+  check "model has active terms" (Model.n_active model > 0);
+
+  (* --- Snapshot round-trip ------------------------------------------ *)
+  let dir = Filename.temp_file "cbmf_serve_smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let snap = Filename.concat dir "lna.snap" in
+  Snapshot.save ~path:snap model;
+  let loaded = Snapshot.load ~path:snap in
+  check "save/load bit-identical" (Model.equal loaded model);
+  check "re-encode byte-identical"
+    (String.equal (Snapshot.encode loaded) (Snapshot.encode model));
+
+  (* --- Batch engine: scalar path and domain invariance -------------- *)
+  let dim = model.Model.input_dim in
+  let k = model.Model.n_states in
+  let points =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (s : Cbmf_circuit.Montecarlo.per_state) ->
+              Array.init s.Cbmf_circuit.Montecarlo.xs.Mat.rows (fun i ->
+                  Mat.row s.Cbmf_circuit.Montecarlo.xs i))
+            data.Cbmf_experiments.Workload.test.Cbmf_circuit.Montecarlo.states))
+  in
+  let n = 130 (* spans three fan-out chunks *) in
+  let xs =
+    Mat.init n dim (fun i j -> points.(i mod Array.length points).(j))
+  in
+  let states = Array.init n (fun i -> i mod k) in
+  let means2, sds2 = Engine.predict_batch model ~states ~xs in
+  check "predictions finite"
+    (Array.for_all Float.is_finite means2 && Array.for_all Float.is_finite sds2);
+  Cbmf_parallel.Pool.set_default_size 1;
+  let means1, sds1 = Engine.predict_batch model ~states ~xs in
+  Cbmf_parallel.Pool.set_default_size 2;
+  check "1 vs 2 domains bit-identical"
+    (bits_eq means1 means2 && bits_eq sds1 sds2);
+  let scalar_ok = ref true in
+  for i = 0 to 19 do
+    let x = Mat.row xs i in
+    let m_s, s_s = Model.predict model ~state:states.(i) x in
+    let m_b, s_b = Engine.predict model ~state:states.(i) x in
+    if
+      not
+        (Int64.equal (Int64.bits_of_float m_s) (Int64.bits_of_float means2.(i))
+        && Int64.equal (Int64.bits_of_float s_s) (Int64.bits_of_float sds2.(i))
+        && Int64.equal (Int64.bits_of_float m_s) (Int64.bits_of_float m_b)
+        && Int64.equal (Int64.bits_of_float s_s) (Int64.bits_of_float s_b))
+    then scalar_ok := false
+  done;
+  check "batch = batch-of-1 = scalar predict bitwise" !scalar_ok;
+
+  (* --- Server over a temp Unix socket ------------------------------- *)
+  let sock = Filename.concat dir "serve.sock" in
+  let server =
+    Server.start
+      ~config:{ Server.default_config with workers = 2; timeout = 30.0 }
+      (Unix.ADDR_UNIX sock)
+  in
+  let c = Client.connect (Unix.ADDR_UNIX sock) in
+  (match Client.load_path c ~name:"lna" ~path:snap with
+  | Ok (n_active, n_states, _) ->
+      check "server load reports shape"
+        (n_active = Model.n_active model && n_states = k)
+  | Error e -> check ("server load: " ^ e) false);
+
+  (* 100 batched predict requests; every reply bit-identical to the
+     local engine. *)
+  let served_ok = ref true in
+  for req = 0 to 99 do
+    let b = 1 + (req mod 13) in
+    let off = req mod (n - b) in
+    let bxs = Mat.init b dim (fun i j -> Mat.get xs (off + i) j) in
+    let bstates = Array.sub states off b in
+    let lm, ls = Engine.predict_batch model ~states:bstates ~xs:bxs in
+    match Client.predict c ~name:"lna" ~states:bstates ~xs:bxs with
+    | Ok (rm, rs) -> if not (bits_eq lm rm && bits_eq ls rs) then served_ok := false
+    | Error _ -> served_ok := false
+  done;
+  check "100 batched requests served bit-identically" !served_ok;
+
+  (* Unknown model: typed error, connection stays up. *)
+  (match Client.predict c ~name:"nope" ~states:[| 0 |] ~xs:(Mat.create 1 dim) with
+  | Error msg ->
+      check "unknown model -> model-not-found"
+        (String.length msg >= 15 && String.sub msg 0 15 = "model-not-found")
+  | Ok _ -> check "unknown model rejected" false);
+
+  (* Injection-armed decode: typed error reply, server stays alive. *)
+  Cbmf_robust.Inject.arm ~prob:1.0 ~sites:[ "serve.decode" ] ();
+  let image = Snapshot.encode model in
+  (match Client.load_inline c ~name:"injected" ~image with
+  | Error msg ->
+      check "injected decode fault -> bad-snapshot reply"
+        (String.length msg >= 12 && String.sub msg 0 12 = "bad-snapshot")
+  | Ok _ -> check "injected decode fault rejected" false);
+  Cbmf_robust.Inject.disarm ();
+  (match Client.load_inline c ~name:"inline" ~image with
+  | Ok _ -> ()
+  | Error e -> check ("inline load after disarm: " ^ e) false);
+
+  (* Malformed frame (well-delimited, garbage body): typed error. *)
+  (match Client.send_raw c "\xDE\xAD\xBE\xEF" with
+  | Protocol.Error { code = Protocol.Bad_frame; _ } -> ()
+  | _ -> check "malformed frame -> bad-frame reply" false);
+
+  (* The same connection still serves after the bad frame. *)
+  (match Client.predict c ~name:"lna" ~states:[| 0 |]
+           ~xs:(Mat.init 1 dim (fun _ j -> points.(0).(j)))
+  with
+  | Ok _ -> ()
+  | Error e -> check ("connection survives bad frame: " ^ e) false);
+
+  (* Stats JSON: schema spot-checks. *)
+  (match Client.stats c with
+  | Ok json ->
+      let has needle =
+        let nl = String.length needle and bl = String.length json in
+        let rec scan i =
+          if i + nl > bl then false
+          else if String.sub json i nl = needle then true
+          else scan (i + 1)
+        in
+        scan 0
+      in
+      List.iter
+        (fun key -> check (Printf.sprintf "stats has %s" key) (has key))
+        [ "\"requests\""; "\"predict\":102"; "\"load\":3"; "\"errors\"";
+          "\"points\""; "\"max_batch\""; "\"latency_us\""; "\"p50\"";
+          "\"p99\""; "\"buckets\""; "\"registry\""; "\"hits\"";
+          "\"misses\"" ]
+  | Error e -> check ("stats: " ^ e) false);
+
+  Client.shutdown c;
+  Client.close c;
+  Server.wait server;
+  check "socket file removed on stop" (not (Sys.file_exists sock));
+
+  Sys.remove snap;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  if !failures > 0 then begin
+    Printf.eprintf "serve-smoke: %d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  print_endline
+    "serve-smoke: snapshot round-trip bit-identical; 100 batched requests \
+     served; faults answered with typed errors"

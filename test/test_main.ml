@@ -18,5 +18,6 @@ let () =
          Test_cluster.suite;
          Test_parallel.suite;
          Test_robust.suite;
+         Test_serve.suite;
          Test_posterior_oracle.suite;
          Test_integration.suite ])

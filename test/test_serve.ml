@@ -1,0 +1,642 @@
+(* Serving subsystem tests: codec primitives, snapshot persistence
+   (round-trip bit-identity, truncation, bit flips, version/reserved
+   fields), registry LRU behavior, batch engine vs the scalar path and
+   across domain counts, wire protocol round-trips, and a client/server
+   loopback over a socketpair — no listener, no ports. *)
+
+open Cbmf_linalg
+open Cbmf_basis
+open Cbmf_robust
+open Cbmf_serve
+open Helpers
+
+(* Own RNG so this file never perturbs the shared Helpers stream other
+   suites draw from. *)
+let srng = Cbmf_prob.Rng.create 987654
+
+let g () = Cbmf_prob.Rng.gaussian srng
+
+let bits_eq_f x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let bits_eq xs ys =
+  Array.length xs = Array.length ys && Array.for_all2 bits_eq_f xs ys
+
+let spd n =
+  let a = Mat.init n n (fun _ _ -> g ()) in
+  let m = Mat.gram a in
+  Mat.add_diag_inplace m (float_of_int n *. 0.5);
+  Mat.symmetrize_inplace m;
+  m
+
+(* A structurally valid serving model with every term kind present. *)
+let synth_model ?(dim = 6) ?(k = 4) ?(a = 10) () =
+  let terms =
+    Array.init a (fun j ->
+        match j mod 4 with
+        | 0 -> Term.Constant
+        | 1 -> Term.Linear (j mod dim)
+        | 2 -> Term.Square (j mod dim)
+        | _ ->
+            let i = j mod (dim - 1) in
+            Term.Cross (i, i + 1))
+  in
+  {
+    Model.input_dim = dim;
+    n_states = k;
+    terms;
+    col_means = Mat.init k a (fun _ _ -> g ());
+    col_scales = Array.init a (fun _ -> 0.5 +. Float.abs (g ()));
+    y_means = Array.init k (fun _ -> g ());
+    y_scale = 1.0 +. Float.abs (g ());
+    mu = Mat.init a k (fun _ _ -> g ());
+    lambda = Array.init a (fun _ -> Float.abs (g ()));
+    r = Mat.init k k (fun _ _ -> g ());
+    sigma0 = 0.05;
+    cov = Array.init k (fun _ -> spd a);
+  }
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "cbmf_test_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let expect_bad name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Bad_snapshot" name
+  | exception Fault.Error (Fault.Bad_snapshot _) -> ()
+
+(* --- Codec ----------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let w = Codec.writer () in
+  Codec.w_u8 w 0;
+  Codec.w_u8 w 255;
+  Codec.w_u32 w 0;
+  Codec.w_u32 w 0x7FFFFFFF;
+  Codec.w_i64 w Int64.min_int;
+  Codec.w_string w "";
+  Codec.w_string w "payload \x00\xff bytes";
+  Codec.w_u32_array w [| 3; 0; 71 |];
+  let specials =
+    [| 0.0; -0.0; Float.nan; infinity; neg_infinity; Int64.float_of_bits 1L;
+       Int64.float_of_bits 0x7FF8DEADBEEF0001L; 1.5e-310; Float.pi |]
+  in
+  Codec.w_f64_array w specials;
+  let m = Mat.init 3 2 (fun i j -> g () +. float_of_int ((i * 2) + j)) in
+  Codec.w_mat w m;
+  let r = Codec.reader (Codec.contents w) in
+  check_int "u8 lo" 0 (Codec.r_u8 r);
+  check_int "u8 hi" 255 (Codec.r_u8 r);
+  check_int "u32 lo" 0 (Codec.r_u32 r);
+  check_int "u32 hi" 0x7FFFFFFF (Codec.r_u32 r);
+  check_true "i64" (Int64.equal Int64.min_int (Codec.r_i64 r));
+  check_true "empty string" (String.equal "" (Codec.r_string r));
+  check_true "binary string"
+    (String.equal "payload \x00\xff bytes" (Codec.r_string r));
+  check_true "u32 array" ([| 3; 0; 71 |] = Codec.r_u32_array r);
+  check_true "f64 specials bit-identical" (bits_eq specials (Codec.r_f64_array r));
+  let m' = Codec.r_mat r in
+  check_true "mat shape" (m'.Mat.rows = 3 && m'.Mat.cols = 2);
+  check_true "mat bits" (bits_eq m.Mat.data m'.Mat.data);
+  Codec.expect_end r
+
+let test_codec_rejects () =
+  let w = Codec.writer () in
+  Codec.w_string w "hello";
+  let s = Codec.contents w in
+  (* Every strict prefix must fail, never read garbage. *)
+  for len = 0 to String.length s - 1 do
+    let r = Codec.reader (String.sub s 0 len) in
+    match Codec.r_string r with
+    | _ -> Alcotest.failf "prefix %d decoded" len
+    | exception Codec.Corrupt _ -> ()
+  done;
+  (* Trailing bytes are an error too. *)
+  let r = Codec.reader (s ^ "\x00") in
+  ignore (Codec.r_string r);
+  (match Codec.expect_end r with
+  | _ -> Alcotest.fail "trailing byte accepted"
+  | exception Codec.Corrupt _ -> ());
+  (* A u32 with the sign bit set is hostile, not a negative count. *)
+  let r = Codec.reader "\xff\xff\xff\xff" in
+  (match Codec.r_u32 r with
+  | _ -> Alcotest.fail "sign-bit u32 accepted"
+  | exception Codec.Corrupt _ -> ());
+  (* A length field larger than the remaining bytes must not allocate. *)
+  let w = Codec.writer () in
+  Codec.w_u32 w 0x10000000;
+  let r = Codec.reader (Codec.contents w ^ "ab") in
+  match Codec.r_string r with
+  | _ -> Alcotest.fail "oversized length accepted"
+  | exception Codec.Corrupt _ -> ()
+
+let test_codec_fnv64 () =
+  (* Reference FNV-1a 64-bit vectors. *)
+  check_true "fnv64 empty"
+    (Int64.equal 0xcbf29ce484222325L (Codec.fnv64 ""));
+  check_true "fnv64 'a'" (Int64.equal 0xaf63dc4c8601ec8cL (Codec.fnv64 "a"));
+  check_true "fnv64 'foobar'"
+    (Int64.equal 0x85944171f73967e8L (Codec.fnv64 "foobar"));
+  check_true "fnv64 range = fnv64 slice"
+    (Int64.equal (Codec.fnv64 ~pos:1 ~len:3 "xfoox") (Codec.fnv64 "foo"))
+
+(* --- Snapshot -------------------------------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  List.iter
+    (fun (dim, k, a) ->
+      let m = synth_model ~dim ~k ~a () in
+      check_true "synthetic model validates" (Model.validate m = Ok ());
+      let img = Snapshot.encode m in
+      let m' = Snapshot.decode img in
+      check_true "decode(encode m) bit-identical" (Model.equal m' m);
+      check_true "re-encode byte-identical"
+        (String.equal (Snapshot.encode m') img))
+    [ (2, 1, 1); (6, 4, 10); (9, 7, 23) ]
+
+let test_snapshot_special_floats () =
+  let m = synth_model () in
+  let plant (d : float array) =
+    d.(0) <- Float.nan;
+    d.(1) <- -0.0;
+    d.(2) <- Int64.float_of_bits 1L (* smallest subnormal *);
+    d.(3) <- infinity;
+    d.(4) <- neg_infinity;
+    d.(5) <- Int64.float_of_bits 0x7FF8DEADBEEF0001L (* NaN payload *)
+  in
+  plant m.Model.mu.Mat.data;
+  plant m.Model.cov.(0).Mat.data;
+  plant m.Model.r.Mat.data;
+  let img = Snapshot.encode m in
+  let m' = Snapshot.decode img in
+  check_true "NaN/−0/subnormal payloads round-trip bitwise" (Model.equal m' m);
+  check_true "and re-encode byte-identically"
+    (String.equal (Snapshot.encode m') img)
+
+let test_snapshot_truncation () =
+  let img = Snapshot.encode (synth_model ()) in
+  let n = String.length img in
+  (* Every header cut, then payload cuts sampled across the image. *)
+  let cuts = ref [] in
+  for len = 0 to 32 do cuts := len :: !cuts done;
+  let step = max 1 ((n - 33) / 19) in
+  let len = ref 33 in
+  while !len < n do
+    cuts := !len :: !cuts;
+    len := !len + step
+  done;
+  List.iter
+    (fun len ->
+      expect_bad
+        (Printf.sprintf "truncated at %d/%d" len n)
+        (fun () -> Snapshot.decode (String.sub img 0 len)))
+    !cuts
+
+let flip_bit s bit =
+  let b = Bytes.of_string s in
+  let i = bit / 8 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+  Bytes.to_string b
+
+let test_snapshot_bit_flips () =
+  let img = Snapshot.encode (synth_model ()) in
+  let n = String.length img in
+  (* Header bytes exhaustively (rotating bit), payload bytes sampled:
+     magic/version/reserved/length flips hit the field checks, payload
+     flips the checksum. *)
+  for byte = 0 to 31 do
+    expect_bad
+      (Printf.sprintf "header flip @%d" byte)
+      (fun () -> Snapshot.decode (flip_bit img ((byte * 8) + (byte mod 8))))
+  done;
+  let step = max 1 ((n - 32) / 37) in
+  let byte = ref 32 in
+  while !byte < n do
+    expect_bad
+      (Printf.sprintf "payload flip @%d" !byte)
+      (fun () -> Snapshot.decode (flip_bit img ((!byte * 8) + (!byte mod 8))));
+    byte := !byte + step
+  done
+
+let test_snapshot_versioning () =
+  let img = Snapshot.encode (synth_model ()) in
+  let patch_byte i c =
+    let b = Bytes.of_string img in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  (* The version field is not covered by the payload checksum, so a
+     future-version file is structurally pristine — it must still be
+     refused, with the version named in the reason. *)
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i =
+      i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  (match Snapshot.decode (patch_byte 8 '\x02') with
+  | _ -> Alcotest.fail "future version accepted"
+  | exception Fault.Error (Fault.Bad_snapshot { reason; _ }) ->
+      check_true "reason names the version" (contains reason "version"));
+  expect_bad "version 0" (fun () -> Snapshot.decode (patch_byte 8 '\x00'));
+  expect_bad "reserved field nonzero" (fun () ->
+      Snapshot.decode (patch_byte 12 '\x01'));
+  expect_bad "trailing garbage" (fun () -> Snapshot.decode (img ^ "x"));
+  expect_bad "empty image" (fun () -> Snapshot.decode "");
+  expect_bad "foreign magic" (fun () ->
+      Snapshot.decode ("NOTASNAP" ^ String.sub img 8 (String.length img - 8)))
+
+let test_snapshot_file_io () =
+  with_temp_dir (fun dir ->
+      let m = synth_model () in
+      let path = Filename.concat dir "m.snap" in
+      Snapshot.save ~path m;
+      check_true "no torn temp file left"
+        (not (Sys.file_exists (path ^ ".tmp")));
+      let m' = Snapshot.load ~path in
+      check_true "file round-trip bit-identical" (Model.equal m' m);
+      expect_bad "missing file" (fun () ->
+          Snapshot.load ~path:(Filename.concat dir "absent.snap")))
+
+let test_snapshot_injected_fault () =
+  let m = synth_model () in
+  let img = Snapshot.encode m in
+  Inject.arm ~seed:11 ~prob:1.0 ~sites:[ "serve.decode" ] ();
+  Fun.protect ~finally:Inject.disarm (fun () ->
+      expect_bad "armed serve.decode" (fun () ->
+          Snapshot.decode ~site:"serve.decode" img));
+  check_true "decodes again once disarmed" (Model.equal (Snapshot.decode img) m)
+
+(* --- Model ----------------------------------------------------------- *)
+
+let test_model_validate_rejects () =
+  let m = synth_model () in
+  let bad name m' =
+    match Model.validate m' with
+    | Ok () -> Alcotest.failf "%s: validate accepted" name
+    | Error _ -> ()
+  in
+  bad "col_scales length" { m with Model.col_scales = [| 1.0 |] };
+  (let scales = Array.copy m.Model.col_scales in
+   scales.(0) <- 0.0;
+   bad "zero column scale" { m with Model.col_scales = scales });
+  (let terms = Array.copy m.Model.terms in
+   terms.(0) <- Term.Linear m.Model.input_dim;
+   bad "term variable out of range" { m with Model.terms = terms });
+  (let cov = Array.copy m.Model.cov in
+   cov.(0) <- Mat.create 1 1;
+   bad "cov block shape" { m with Model.cov = cov });
+  bad "NaN sigma0" { m with Model.sigma0 = Float.nan };
+  bad "zero y_scale" { m with Model.y_scale = 0.0 };
+  bad "zero states" { m with Model.n_states = 0 }
+
+let test_model_equal_is_bitwise () =
+  let m = synth_model () in
+  let img = Snapshot.encode m in
+  let m' = Snapshot.decode img in
+  check_true "copies equal" (Model.equal m m');
+  m'.Model.mu.Mat.data.(0) <-
+    Int64.float_of_bits
+      (Int64.logxor 1L (Int64.bits_of_float m'.Model.mu.Mat.data.(0)));
+  check_true "one flipped mantissa bit detected" (not (Model.equal m m'))
+
+let test_model_invalid_args () =
+  let m = synth_model () in
+  check_raises_invalid "bad state" (fun () ->
+      Model.predict m ~state:m.Model.n_states (Array.make m.Model.input_dim 0.0));
+  check_raises_invalid "bad input length" (fun () ->
+      Model.predict m ~state:0 (Array.make (m.Model.input_dim + 1) 0.0))
+
+(* --- Registry -------------------------------------------------------- *)
+
+let test_registry_basics () =
+  let reg = Registry.create () in
+  let m = synth_model () in
+  Registry.put reg ~name:"b" m;
+  Registry.put reg ~name:"a" m;
+  check_true "names sorted" (Registry.names reg = [ "a"; "b" ]);
+  check_true "get hits" (Model.equal (Registry.get reg ~name:"a") m);
+  (match Registry.get reg ~name:"zzz" with
+  | _ -> Alcotest.fail "unknown name returned a model"
+  | exception Not_found -> ());
+  check_true "find on unknown"
+    (match Registry.find reg ~name:"zzz" with None -> true | Some _ -> false);
+  Registry.remove reg ~name:"a";
+  check_true "removed" (Registry.names reg = [ "b" ]);
+  let s = Registry.stats reg in
+  check_int "one resident left" 1 s.Registry.resident_models;
+  check_true "hit counted" (s.Registry.hits >= 1)
+
+let test_registry_lazy_and_lru () =
+  with_temp_dir (fun dir ->
+      let m = synth_model () in
+      let b = Model.byte_size m in
+      let path i =
+        let p = Filename.concat dir (Printf.sprintf "m%d.snap" i) in
+        Snapshot.save ~path:p m;
+        p
+      in
+      (* Budget fits two residents, never three. *)
+      let reg = Registry.create ~max_bytes:((2 * b) + (b / 2)) () in
+      Registry.add_path reg ~name:"m1" (path 1);
+      Registry.add_path reg ~name:"m2" (path 2);
+      Registry.add_path reg ~name:"m3" (path 3);
+      check_int "lazy slots are not resident" 0
+        (Registry.stats reg).Registry.resident_models;
+      ignore (Registry.get reg ~name:"m1") (* miss + load *);
+      ignore (Registry.get reg ~name:"m1") (* hit *);
+      ignore (Registry.get reg ~name:"m2") (* miss + load *);
+      let s = Registry.stats reg in
+      check_int "two resident" 2 s.Registry.resident_models;
+      check_int "one hit" 1 s.Registry.hits;
+      check_int "two misses" 2 s.Registry.misses;
+      check_int "two loads" 2 s.Registry.loads;
+      check_int "no evictions yet" 0 s.Registry.evictions;
+      (* Loading m3 busts the budget: m1 (least recently used) demotes. *)
+      ignore (Registry.get reg ~name:"m3");
+      let s = Registry.stats reg in
+      check_int "still two resident" 2 s.Registry.resident_models;
+      check_int "one eviction" 1 s.Registry.evictions;
+      check_true "budget respected" (s.Registry.resident_bytes <= (2 * b) + (b / 2));
+      (* The demoted slot is lazy again, not gone: a hit reloads it. *)
+      check_true "demoted slot still registered"
+        (Registry.names reg = [ "m1"; "m2"; "m3" ]);
+      let loads0 = s.Registry.loads in
+      ignore (Registry.get reg ~name:"m1");
+      check_int "demoted slot reloaded" (loads0 + 1)
+        (Registry.stats reg).Registry.loads)
+
+let test_registry_put_only_eviction () =
+  with_temp_dir (fun dir ->
+      let m = synth_model () in
+      let b = Model.byte_size m in
+      let p = Filename.concat dir "q.snap" in
+      Snapshot.save ~path:p m;
+      let reg = Registry.create ~max_bytes:(b + (b / 2)) () in
+      Registry.put reg ~name:"p" m;
+      Registry.add_path reg ~name:"q" p;
+      (* Loading q evicts p; with no backing path, p is gone for good. *)
+      ignore (Registry.get reg ~name:"q");
+      check_true "path-less slot dropped on eviction"
+        (match Registry.find reg ~name:"p" with
+        | None -> true
+        | Some _ -> false);
+      check_true "only the path-backed slot survives"
+        (Registry.names reg = [ "q" ]))
+
+(* --- Engine ---------------------------------------------------------- *)
+
+let check_batch_matches_scalar m n =
+  let dim = m.Model.input_dim and k = m.Model.n_states in
+  let xs = Mat.init n dim (fun _ _ -> g ()) in
+  let states = Array.init n (fun i -> i * 7 mod k) in
+  let means, sds = Engine.predict_batch m ~states ~xs in
+  for i = 0 to n - 1 do
+    let mean, sd = Model.predict m ~state:states.(i) (Mat.row xs i) in
+    if not (bits_eq_f mean means.(i) && bits_eq_f sd sds.(i)) then
+      Alcotest.failf "batch/scalar mismatch at point %d of %d" i n
+  done
+
+let test_engine_matches_scalar () =
+  List.iter
+    (fun (dim, k, a, n) -> check_batch_matches_scalar (synth_model ~dim ~k ~a ()) n)
+    [ (4, 3, 6, 1); (6, 4, 10, 64) (* exactly one chunk *);
+      (6, 4, 10, 130) (* spans three chunks *); (5, 2, 7, 200) ]
+
+let test_engine_batch_of_one () =
+  let m = synth_model () in
+  let x = Array.init m.Model.input_dim (fun _ -> g ()) in
+  let m1, s1 = Engine.predict m ~state:1 x in
+  let m2, s2 = Model.predict m ~state:1 x in
+  check_true "Engine.predict = Model.predict bitwise"
+    (bits_eq_f m1 m2 && bits_eq_f s1 s2)
+
+let test_engine_domain_invariance () =
+  let m = synth_model ~dim:6 ~k:4 ~a:12 () in
+  let n = 150 in
+  let xs = Mat.init n m.Model.input_dim (fun _ _ -> g ()) in
+  let states = Array.init n (fun i -> i mod m.Model.n_states) in
+  let run d =
+    Cbmf_parallel.Pool.set_default_size d;
+    Engine.predict_batch m ~states ~xs
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Cbmf_parallel.Pool.set_default_size (Cbmf_parallel.Pool.env_domains ()))
+    (fun () ->
+      let m1, s1 = run 1 in
+      let m2, s2 = run 2 in
+      let m4, s4 = run 4 in
+      check_true "1 vs 2 domains bit-identical" (bits_eq m1 m2 && bits_eq s1 s2);
+      check_true "1 vs 4 domains bit-identical" (bits_eq m1 m4 && bits_eq s1 s4))
+
+let test_engine_invalid_args () =
+  let m = synth_model () in
+  let dim = m.Model.input_dim in
+  check_raises_invalid "states length mismatch" (fun () ->
+      Engine.predict_batch m ~states:[| 0 |] ~xs:(Mat.create 2 dim));
+  check_raises_invalid "wrong input dim" (fun () ->
+      Engine.predict_batch m ~states:[| 0 |] ~xs:(Mat.create 1 (dim + 1)));
+  check_raises_invalid "state out of range" (fun () ->
+      Engine.predict_batch m ~states:[| m.Model.n_states |] ~xs:(Mat.create 1 dim))
+
+(* --- Protocol -------------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [ Protocol.Load { name = "m"; source = Protocol.Path "/tmp/m.snap" };
+      Protocol.Load { name = ""; source = Protocol.Inline "raw \x00\xff bytes" };
+      Protocol.Predict
+        {
+          name = "lna";
+          states = [| 0; 3; 1 |];
+          xs = Mat.init 3 2 (fun i j -> float_of_int ((10 * i) + j));
+        };
+      Protocol.Stats; Protocol.Shutdown ]
+  in
+  List.iter
+    (fun req ->
+      check_true "request round-trips"
+        (Protocol.decode_request (Protocol.encode_request req) = req))
+    reqs;
+  let reps =
+    [ Protocol.Loaded { n_active = 12; n_states = 4; bytes = 34_000 };
+      Protocol.Predicted { means = [| 1.5; -2.25 |]; sds = [| 0.5; 0.125 |] };
+      Protocol.Stats_json "{\"requests\":{}}"; Protocol.Shutting_down ]
+    @ List.map
+        (fun code -> Protocol.Error { code; message = "m" })
+        [ Protocol.Bad_frame; Protocol.Unknown_op; Protocol.Bad_snapshot;
+          Protocol.Model_not_found; Protocol.Bad_request; Protocol.Internal ]
+  in
+  List.iter
+    (fun rep ->
+      check_true "reply round-trips"
+        (Protocol.decode_reply (Protocol.encode_reply rep) = rep))
+    reps
+
+let test_protocol_rejects () =
+  let corrupt name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: decoded" name
+    | exception Codec.Corrupt _ -> ()
+  in
+  corrupt "garbage request" (fun () -> Protocol.decode_request "\xde\xad\xbe\xef");
+  corrupt "empty request" (fun () -> Protocol.decode_request "");
+  corrupt "unknown opcode" (fun () -> Protocol.decode_request "\x63");
+  corrupt "trailing bytes" (fun () ->
+      Protocol.decode_request (Protocol.encode_request Protocol.Stats ^ "\x00"));
+  corrupt "truncated predict" (fun () ->
+      let enc =
+        Protocol.encode_request
+          (Protocol.Predict
+             { name = "m"; states = [| 0 |]; xs = Mat.create 1 3 })
+      in
+      Protocol.decode_request (String.sub enc 0 (String.length enc - 5)));
+  corrupt "garbage reply" (fun () -> Protocol.decode_reply "\x7f\x00")
+
+(* --- Client/server loopback over a socketpair ------------------------ *)
+
+let with_loopback registry f =
+  let srv_fd, cl_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let th = Thread.create (fun () -> Server.serve_fd ~registry srv_fd) () in
+  let client = Client.of_fd cl_fd in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Client.close client with Unix.Unix_error _ -> ());
+      Thread.join th)
+    (fun () -> f client)
+
+let test_loopback_serving () =
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let registry = Registry.create () in
+  Registry.put registry ~name:"m" m;
+  with_loopback registry (fun c ->
+      (* Predictions over the wire match the local engine bitwise. *)
+      let n = 17 in
+      let xs = Mat.init n m.Model.input_dim (fun _ _ -> g ()) in
+      let states = Array.init n (fun i -> i mod m.Model.n_states) in
+      let lm, ls = Engine.predict_batch m ~states ~xs in
+      (match Client.predict c ~name:"m" ~states ~xs with
+      | Ok (rm, rs) ->
+          check_true "served predictions bit-identical"
+            (bits_eq lm rm && bits_eq ls rs)
+      | Error e -> Alcotest.failf "predict: %s" e);
+      (* Inline load, then predict against the shipped model. *)
+      (match Client.load_inline c ~name:"w" ~image:(Snapshot.encode m) with
+      | Ok (n_active, n_states, _) ->
+          check_true "loaded shape"
+            (n_active = Model.n_active m && n_states = m.Model.n_states)
+      | Error e -> Alcotest.failf "load_inline: %s" e);
+      (match Client.predict c ~name:"w" ~states ~xs with
+      | Ok (rm, rs) ->
+          check_true "inline-loaded model serves identically"
+            (bits_eq lm rm && bits_eq ls rs)
+      | Error e -> Alcotest.failf "predict after load: %s" e);
+      Client.shutdown c)
+
+let test_loopback_errors () =
+  let m = synth_model ~dim:4 ~k:2 ~a:5 () in
+  let registry = Registry.create () in
+  Registry.put registry ~name:"m" m;
+  with_loopback registry (fun c ->
+      let expect_code name code reply =
+        match reply with
+        | Protocol.Error { code = got; _ } when got = code -> ()
+        | _ -> Alcotest.failf "%s: expected %s" name (Protocol.error_code_name code)
+      in
+      (* Unknown model. *)
+      expect_code "unknown model" Protocol.Model_not_found
+        (Client.call c
+           (Protocol.Predict
+              { name = "nope"; states = [| 0 |]; xs = Mat.create 1 4 }));
+      (* Shape mismatch from the engine. *)
+      expect_code "bad shape" Protocol.Bad_request
+        (Client.call c
+           (Protocol.Predict { name = "m"; states = [| 0 |]; xs = Mat.create 1 9 }));
+      (* Corrupt inline snapshot. *)
+      expect_code "corrupt image" Protocol.Bad_snapshot
+        (Client.call c
+           (Protocol.Load { name = "x"; source = Protocol.Inline "garbage" }));
+      (* Injected decode fault: same typed reply as real corruption. *)
+      Inject.arm ~seed:5 ~prob:1.0 ~sites:[ "serve.decode" ] ();
+      Fun.protect ~finally:Inject.disarm (fun () ->
+          expect_code "injected decode fault" Protocol.Bad_snapshot
+            (Client.call c
+               (Protocol.Load
+                  { name = "x"; source = Protocol.Inline (Snapshot.encode m) })));
+      (* Malformed frame: typed error, connection survives. *)
+      expect_code "malformed frame" Protocol.Bad_frame
+        (Client.send_raw c "\xde\xad\xbe\xef");
+      (match Client.predict c ~name:"m" ~states:[| 1 |] ~xs:(Mat.create 1 4) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "connection died after bad frame: %s" e);
+      (* Stats blob reaches the client. *)
+      (match Client.stats c with
+      | Ok json ->
+          check_true "stats is json" (String.length json > 2 && json.[0] = '{')
+      | Error e -> Alcotest.failf "stats: %s" e);
+      Client.shutdown c)
+
+(* --- Fault taxonomy integration -------------------------------------- *)
+
+let test_bad_snapshot_fault () =
+  let f = Fault.Bad_snapshot { site = "snapshot.load"; reason = "short header" } in
+  check_true "rendering"
+    (String.equal "bad-snapshot @snapshot.load: short header" (Fault.to_string f));
+  check_true "class" (Fault.class_of f = Fault.C_bad_snapshot);
+  check_true "class name"
+    (String.equal "bad-snapshot" (Fault.class_name Fault.C_bad_snapshot));
+  check_true "site" (String.equal "snapshot.load" (Fault.site f));
+  (* Diag sorts deterministically by rendering: bad-snapshot sorts
+     ahead of not-pd and worker-error. *)
+  let d = Diag.create () in
+  Diag.record d (Fault.Worker_error { site = "pool"; message = "boom" });
+  Diag.record d f;
+  Diag.record d (Fault.Not_pd { site = "chol.factorize"; dim = 3; tries = 2 });
+  let faults = Diag.faults d in
+  check_int "all recorded" 3 (Array.length faults);
+  check_true "deterministic order" (faults.(0) = f);
+  check_int "counted by class" 1 (Diag.count_class d Fault.C_bad_snapshot)
+
+let suite =
+  [ ( "serve.codec",
+      [ case "primitive round-trips (incl. NaN payloads)" test_codec_roundtrip;
+        case "truncation and hostile lengths rejected" test_codec_rejects;
+        case "fnv64 reference vectors" test_codec_fnv64 ] );
+    ( "serve.snapshot",
+      [ case "round-trip bit-identity" test_snapshot_roundtrip;
+        case "special-float payloads round-trip" test_snapshot_special_floats;
+        case "every truncation rejected" test_snapshot_truncation;
+        case "every sampled bit flip rejected" test_snapshot_bit_flips;
+        case "version/reserved/magic/trailing rejected" test_snapshot_versioning;
+        case "atomic save + load, missing file typed" test_snapshot_file_io;
+        case "injected decode fault" test_snapshot_injected_fault ] );
+    ( "serve.model",
+      [ case "validate rejects inconsistencies" test_model_validate_rejects;
+        case "equal is bitwise" test_model_equal_is_bitwise;
+        case "invalid_arg validation" test_model_invalid_args ] );
+    ( "serve.registry",
+      [ case "put/get/find/remove/names" test_registry_basics;
+        case "lazy load + LRU demotion" test_registry_lazy_and_lru;
+        case "path-less slots dropped on eviction" test_registry_put_only_eviction ] );
+    ( "serve.engine",
+      [ case "batch = scalar bitwise across shapes" test_engine_matches_scalar;
+        case "batch of one = Model.predict" test_engine_batch_of_one;
+        case "1/2/4 domains bit-identical" test_engine_domain_invariance;
+        case "invalid_arg validation" test_engine_invalid_args ] );
+    ( "serve.protocol",
+      [ case "request/reply round-trips" test_protocol_roundtrip;
+        case "malformed bodies rejected" test_protocol_rejects ] );
+    ( "serve.server",
+      [ case "socketpair loopback serving" test_loopback_serving;
+        case "typed errors, connection survives" test_loopback_errors ] );
+    ( "serve.fault",
+      [ case "Bad_snapshot taxonomy integration" test_bad_snapshot_fault ] ) ]
