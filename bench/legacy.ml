@@ -243,3 +243,216 @@ let compute ?(need_sigma = true) (d : Dataset.t) (prior : Prior.t) ~active =
     predictive;
     state_cov;
   }
+
+(* --- Frozen pre-PR front-end paths --------------------------------- *)
+
+(* The "before" baselines for BENCH_frontend.json, kept verbatim from
+   the pre-incremental front end: S-OMP recomputing column norms on
+   every selection and re-solving the full QR on every step, and the
+   Algorithm-1 CV grid re-materializing the folds and re-factorizing
+   the R prior inside every (r0, sigma0) cell.  The library's
+   [Somp.fit] / [Init.run] must produce identical supports and scores
+   while beating these end-to-end. *)
+module Frontend = struct
+  let select_next (d : Dataset.t) ~residual ~exclude =
+    let m = d.Dataset.n_basis in
+    let scores = Array.make m 0.0 in
+    for k = 0 to d.Dataset.n_states - 1 do
+      let b = d.Dataset.design.(k) in
+      let norms = Cbmf_basis.Dictionary.column_norms b in
+      let corr = Mat.mat_tvec b residual.(k) in
+      for j = 0 to m - 1 do
+        scores.(j) <- scores.(j) +. (abs_float corr.(j) /. norms.(j))
+      done
+    done;
+    let best = ref (-1) and best_score = ref neg_infinity in
+    for j = 0 to m - 1 do
+      if (not exclude.(j)) && scores.(j) > !best_score then begin
+        best := j;
+        best_score := scores.(j)
+      end
+    done;
+    if !best < 0 then raise Not_found;
+    !best
+
+  let somp_fit (d : Dataset.t) ~n_terms =
+    let m = d.Dataset.n_basis in
+    let n_terms = Stdlib.min n_terms (Stdlib.min d.Dataset.n_samples m) in
+    assert (n_terms > 0);
+    let exclude = Array.make m false in
+    let support = ref [] in
+    let residual = Array.map Vec.copy d.Dataset.response in
+    let refit sup =
+      let coeffs = Ols.fit_on_support d ~support:sup in
+      for k = 0 to d.Dataset.n_states - 1 do
+        residual.(k) <-
+          Vec.sub d.Dataset.response.(k) (Metrics.predict_state ~coeffs d k)
+      done;
+      coeffs
+    in
+    let coeffs = ref (Mat.create d.Dataset.n_states m) in
+    (try
+       for _ = 1 to n_terms do
+         let j = select_next d ~residual ~exclude in
+         exclude.(j) <- true;
+         support := j :: !support;
+         coeffs := refit (Array.of_list (List.rev !support))
+       done
+     with Not_found | Qr.Rank_deficient _ -> ());
+    { Somp.support = Array.of_list (List.rev !support); coeffs = !coeffs }
+
+  let greedy_pass ~(train : Dataset.t) ~test ~r0 ~sigma0 ~theta_max =
+    let k = train.Dataset.n_states
+    and n = train.Dataset.n_samples
+    and m = train.Dataset.n_basis in
+    let nk = k * n in
+    let theta_max = Stdlib.min theta_max (Stdlib.min (nk - 1) m) in
+    assert (theta_max >= 1);
+    let r = Prior.r_of_r0 ~n_states:k ~r0 in
+    let l_r = Chol.lower (Chol.factorize_with_retry r) in
+    let chol_g = Chol.of_scaled_identity nk (sigma0 *. sigma0) in
+    let y = Array.make nk 0.0 in
+    for s = 0 to k - 1 do
+      Array.blit train.Dataset.response.(s) 0 y (s * n) n
+    done;
+    let residual = Array.map Vec.copy train.Dataset.response in
+    let exclude = Array.make m false in
+    let support = ref [] in
+    let errors = ref [] in
+    (try
+       for _ = 1 to theta_max do
+         let s = select_next train ~residual ~exclude in
+         exclude.(s) <- true;
+         support := s :: !support;
+         for j = 0 to k - 1 do
+           let u = Array.make nk 0.0 in
+           for st = 0 to k - 1 do
+             let lrj = Mat.get l_r st j in
+             if lrj <> 0.0 then begin
+               let b = train.Dataset.design.(st) in
+               for i = 0 to n - 1 do
+                 u.((st * n) + i) <- lrj *. Mat.get b i s
+               done
+             end
+           done;
+           Chol.rank1_update chol_g u
+         done;
+         let z = Chol.solve_vec chol_g y in
+         let sup = Array.of_list (List.rev !support) in
+         let a = Array.length sup in
+         let mu = Mat.create a k in
+         Array.iteri
+           (fun j col ->
+             let v = Array.make k 0.0 in
+             for st = 0 to k - 1 do
+               let b = train.Dataset.design.(st) in
+               let bd = b.Mat.data and bc = b.Mat.cols in
+               let acc = ref 0.0 in
+               for i = 0 to n - 1 do
+                 acc :=
+                   !acc
+                   +. (Array.unsafe_get bd ((i * bc) + col)
+                      *. Array.unsafe_get z ((st * n) + i))
+               done;
+               v.(st) <- !acc
+             done;
+             Mat.set_row mu j (Mat.mat_vec r v))
+           sup;
+         for st = 0 to k - 1 do
+           let b = train.Dataset.design.(st) in
+           let bd = b.Mat.data and bc = b.Mat.cols in
+           let md = mu.Mat.data in
+           let res = Vec.copy train.Dataset.response.(st) in
+           for i = 0 to n - 1 do
+             let row = i * bc in
+             let pred = ref 0.0 in
+             for j = 0 to a - 1 do
+               pred :=
+                 !pred
+                 +. (Array.unsafe_get bd (row + Array.unsafe_get sup j)
+                    *. Array.unsafe_get md ((j * k) + st))
+             done;
+             res.(i) <- res.(i) -. !pred
+           done;
+           residual.(st) <- res
+         done;
+         match test with
+         | None -> ()
+         | Some (t : Dataset.t) ->
+             let pairs =
+               Array.init k (fun st ->
+                   let b = t.Dataset.design.(st) in
+                   let predicted =
+                     Array.init b.Mat.rows (fun i ->
+                         let acc = ref 0.0 in
+                         for j = 0 to a - 1 do
+                           acc :=
+                             !acc +. (Mat.get b i sup.(j) *. Mat.get mu j st)
+                         done;
+                         !acc)
+                   in
+                   (predicted, t.Dataset.response.(st)))
+             in
+             errors := Metrics.relative_rms_pooled pairs :: !errors
+       done
+     with Not_found -> ());
+    (Array.of_list (List.rev !support), Array.of_list (List.rev !errors))
+
+  let init_run ~(config : Init.config) (d : Dataset.t) =
+    assert (Array.length config.Init.r0_grid > 0);
+    assert (Array.length config.Init.sigma0_grid > 0);
+    let pool = Cbmf_parallel.Pool.default () in
+    let best = ref None in
+    Array.iter
+      (fun r0 ->
+        Array.iter
+          (fun sigma0 ->
+            let fold_errs =
+              Cbmf_parallel.Pool.map ~chunk:1 pool ~n:config.Init.n_folds
+                (fun fold ->
+                  let train, test =
+                    Dataset.split_fold d ~n_folds:config.Init.n_folds ~fold
+                  in
+                  let _, errs =
+                    greedy_pass ~train ~test:(Some test) ~r0 ~sigma0
+                      ~theta_max:config.Init.theta_max
+                  in
+                  errs)
+            in
+            let acc = ref [||] in
+            let n_err = ref max_int in
+            Array.iteri
+              (fun fold errs ->
+                n_err := Stdlib.min !n_err (Array.length errs);
+                if fold = 0 then acc := Array.copy errs
+                else
+                  for i = 0
+                       to Stdlib.min (Array.length !acc) (Array.length errs) - 1
+                  do
+                    !acc.(i) <- !acc.(i) +. errs.(i)
+                  done)
+              fold_errs;
+            let n_err = Stdlib.min !n_err (Array.length !acc) in
+            for theta_i = 0 to n_err - 1 do
+              let e = !acc.(theta_i) /. float_of_int config.Init.n_folds in
+              match !best with
+              | Some (_, _, _, e_best) when e >= e_best -> ()
+              | _ -> best := Some (r0, sigma0, theta_i + 1, e)
+            done)
+          config.Init.sigma0_grid)
+      config.Init.r0_grid;
+    match !best with
+    | None -> invalid_arg "Legacy.Frontend.init_run: empty grid"
+    | Some (r0, sigma0, theta, cv_error) ->
+        let support, _ =
+          greedy_pass ~train:d ~test:None ~r0 ~sigma0 ~theta_max:theta
+        in
+        let lambda = Array.make d.Dataset.n_basis config.Init.lambda_off in
+        Array.iter (fun s -> lambda.(s) <- 1.0) support;
+        let prior =
+          Prior.create ~lambda
+            ~r:(Prior.r_of_r0 ~n_states:d.Dataset.n_states ~r0)
+            ~sigma0
+        in
+        { Init.support; r0; sigma0; theta; cv_error; prior }
+end

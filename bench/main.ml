@@ -8,7 +8,7 @@
    reports the true paper-scale fitting costs).
 
    Usage: main.exe [tab1] [tab2] [fig2] [fig3] [ablation] [micro] [par]
-                   [posterior] [serve] [quick|full|smoke]
+                   [posterior] [serve] [frontend] [quick|full|smoke]
    With no arguments everything runs at paper scale with a 4-point
    sample-budget grid for the figures; [full] uses the paper's 6-point
    grid, [quick] reduced (non-paper) settings. *)
@@ -446,6 +446,300 @@ let run_serve ~smoke =
     Format.fprintf fmt "  smoke OK: schema valid, batched = naive bitwise@."
   end
 
+(* --- Front-end before/after kernels -------------------------------- *)
+
+(* Times the PR's front-end hot paths against the frozen pre-PR
+   implementations ([Legacy.Frontend], per-frequency MNA rebuilds),
+   single-core, and writes BENCH_frontend.json: the Algorithm-1 CV
+   grid with shared precomputation vs the per-cell re-materializing
+   loop, incremental S-OMP vs per-step QR refits, split-stamp
+   [Mna.ac_sweep] vs per-frequency [Mna.ac], and the end-to-end fit
+   through the legacy vs current initializer.  Every kernel records a
+   parity flag (identical supports / bit-identical curves and fitted
+   coefficients); the run fails hard if any flag is false.  [smoke]
+   swaps the LNA workload for a tiny synthetic instance, then re-reads
+   the JSON and verifies the schema — this is part of the
+   [bench-smoke] dune alias under [dune runtest]. *)
+let run_frontend ~smoke =
+  section
+    (if smoke then "frontend (smoke: schema + oracle parity)"
+     else "frontend (before/after front-end kernels, LNA workload)");
+  let module Pool = Cbmf_parallel.Pool in
+  let open Cbmf_linalg in
+  Pool.set_default_size 1;
+  let hash_floats (xs : float array) =
+    Array.fold_left
+      (fun acc x ->
+        Int64.mul (Int64.logxor acc (Int64.bits_of_float x)) 0x100000001B3L)
+      0xCBF29CE484222325L xs
+  in
+  let workload, d, init_config, somp_terms =
+    if smoke then begin
+      let rng = Cbmf_prob.Rng.create 7 in
+      let k = 4 and n = 12 and m = 60 in
+      let support = [| 2; 17; 41 |] in
+      let design =
+        Array.init k (fun _ ->
+            Mat.init n m (fun _ j ->
+                if j = 0 then 1.0 else Cbmf_prob.Rng.gaussian rng))
+      in
+      let response =
+        Array.init k (fun s ->
+            Array.init n (fun i ->
+                let acc = ref (0.05 *. Cbmf_prob.Rng.gaussian rng) in
+                Array.iteri
+                  (fun si col ->
+                    let c = 1.0 /. float_of_int (si + 1) in
+                    let c = c *. (1.0 +. (0.3 *. sin (0.4 *. float_of_int s))) in
+                    acc := !acc +. (c *. Mat.get design.(s) i col))
+                  support;
+                !acc))
+      in
+      let d = Cbmf_model.Dataset.create ~design ~response in
+      let config =
+        {
+          Cbmf_core.Init.r0_grid = [| 0.6; 0.9 |];
+          sigma0_grid = [| 0.1; 0.3 |];
+          theta_max = 4;
+          n_folds = 3;
+          lambda_off = 1e-7;
+        }
+      in
+      ("synthetic-smoke", d, config, 6)
+    end
+    else begin
+      let data = data_for "lna" in
+      let train = Workload.train_dataset data ~poi:0 ~n_per_state:12 in
+      let _, std = Cbmf_core.Standardize.fit train in
+      (* Wide grid, shallow passes: the regime where the shared fold /
+         R-factor / norm precomputation pays (the per-cell greedy work
+         itself is identical in both paths). *)
+      let config =
+        {
+          Cbmf_core.Init.r0_grid = [| 0.5; 0.7; 0.9; 0.995 |];
+          sigma0_grid = [| 0.1; 0.2; 0.3 |];
+          theta_max = 6;
+          n_folds = 4;
+          lambda_off = 1e-7;
+        }
+      in
+      (* 8 of the 12 samples/state: selection margins at every step are
+         far above fp noise, so the support-parity flag is meaningful
+         (a near-square fit would select on noise-level residuals). *)
+      ("lna", std, config, 8)
+    end
+  in
+  let reps = if smoke then 1 else 3 in
+  let time_n f =
+    f ();
+    (* warm *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  (* 1. Algorithm-1 CV grid: legacy per-cell loop vs shared precompute. *)
+  let init_before_r = Legacy.Frontend.init_run ~config:init_config d in
+  let init_after_r = Cbmf_core.Init.run ~config:init_config d in
+  let init_identical =
+    init_before_r.Cbmf_core.Init.support = init_after_r.Cbmf_core.Init.support
+    && init_before_r.Cbmf_core.Init.theta = init_after_r.Cbmf_core.Init.theta
+    && Int64.equal
+         (Int64.bits_of_float init_before_r.Cbmf_core.Init.r0)
+         (Int64.bits_of_float init_after_r.Cbmf_core.Init.r0)
+    && Int64.equal
+         (Int64.bits_of_float init_before_r.Cbmf_core.Init.sigma0)
+         (Int64.bits_of_float init_after_r.Cbmf_core.Init.sigma0)
+    && Int64.equal
+         (Int64.bits_of_float init_before_r.Cbmf_core.Init.cv_error)
+         (Int64.bits_of_float init_after_r.Cbmf_core.Init.cv_error)
+  in
+  let init_before =
+    time_n (fun () -> ignore (Legacy.Frontend.init_run ~config:init_config d))
+  in
+  let init_after =
+    time_n (fun () -> ignore (Cbmf_core.Init.run ~config:init_config d))
+  in
+  (* 2. S-OMP: incremental bordered-Cholesky refits vs per-step QR. *)
+  let somp_before_r = Legacy.Frontend.somp_fit d ~n_terms:somp_terms in
+  let somp_after_r = Cbmf_model.Somp.fit d ~n_terms:somp_terms in
+  let somp_support_identical =
+    somp_before_r.Cbmf_model.Somp.support = somp_after_r.Cbmf_model.Somp.support
+  in
+  let somp_coeffs_close =
+    let a = somp_before_r.Cbmf_model.Somp.coeffs
+    and b = somp_after_r.Cbmf_model.Somp.coeffs in
+    let maxd = ref 0.0 and maxa = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        maxd := Float.max !maxd (abs_float (x -. b.Mat.data.(i)));
+        maxa := Float.max !maxa (abs_float x))
+      a.Mat.data;
+    !maxd <= 1e-8 *. (1.0 +. !maxa)
+  in
+  let somp_before =
+    time_n (fun () -> ignore (Legacy.Frontend.somp_fit d ~n_terms:somp_terms))
+  in
+  let somp_after =
+    time_n (fun () -> ignore (Cbmf_model.Somp.fit d ~n_terms:somp_terms))
+  in
+  (* 3. MNA frequency sweep: split-stamp reassembly vs full per-ω
+     rebuild of the LNA small-signal netlist. *)
+  let tb = (Workload.lna ()).Workload.testbench in
+  let dim = Cbmf_circuit.Testbench.dim tb in
+  let n_freqs = if smoke then 16 else 128 in
+  let freqs =
+    Array.init n_freqs (fun i -> 1.0e9 *. (1.0 +. (0.05 *. float_of_int i)))
+  in
+  let rng_x = Cbmf_prob.Rng.create 29 in
+  let n_sweep = if smoke then 2 else 8 in
+  let xs =
+    Array.init n_sweep (fun _ ->
+        Array.init dim (fun _ -> Cbmf_prob.Rng.gaussian rng_x))
+  in
+  let states =
+    Array.init n_sweep (fun i ->
+        i * 7 mod Cbmf_circuit.Testbench.n_states tb)
+  in
+  let sweep_naive () =
+    Array.init n_sweep (fun i ->
+        Cbmf_circuit.Lna.gain_curve_naive tb ~state:states.(i) xs.(i) ~freqs)
+  in
+  let sweep_fast () =
+    Array.init n_sweep (fun i ->
+        Cbmf_circuit.Lna.gain_curve tb ~state:states.(i) xs.(i) ~freqs)
+  in
+  let sweep_bit_identical =
+    let cb = sweep_naive () and ca = sweep_fast () in
+    Array.for_all2
+      (fun a b ->
+        Array.for_all2
+          (fun x y ->
+            Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+          a b)
+      cb ca
+  in
+  let sweep_before = time_n (fun () -> ignore (sweep_naive ())) in
+  let sweep_after = time_n (fun () -> ignore (sweep_fast ())) in
+  (* 4. End-to-end fit through the legacy vs current initializer. *)
+  let em_config =
+    if smoke then { Cbmf_core.Em.default_config with max_iter = 3; tol = 1e-3 }
+    else Cbmf_core.Cbmf.fast_config.Cbmf_core.Cbmf.em
+  in
+  let fit_config = { Cbmf_core.Cbmf.init = init_config; em = em_config } in
+  let fit_legacy () =
+    (* [Cbmf.fit] with the frozen initializer: same standardization,
+       same σ0 floor, same EM — only the CV grid differs. *)
+    let transform, std = Cbmf_core.Standardize.fit d in
+    let init = Legacy.Frontend.init_run ~config:init_config std in
+    let em_config =
+      {
+        em_config with
+        Cbmf_core.Em.min_sigma0 =
+          Float.max em_config.Cbmf_core.Em.min_sigma0
+            (0.9 *. init.Cbmf_core.Init.cv_error);
+      }
+    in
+    let _, post, _ =
+      Cbmf_core.Em.run ~config:em_config std init.Cbmf_core.Init.prior
+    in
+    Cbmf_core.Standardize.unstandardize_coeffs transform
+      (Cbmf_core.Posterior.coefficients post)
+  in
+  let fit_new () = (Cbmf_core.Cbmf.fit ~config:fit_config d).Cbmf_core.Cbmf.coeffs in
+  let e2e_hash_before = hash_floats (fit_legacy ()).Mat.data in
+  let e2e_hash_after = hash_floats (fit_new ()).Mat.data in
+  let e2e_coeffs_identical = Int64.equal e2e_hash_before e2e_hash_after in
+  let e2e_before = time_n (fun () -> ignore (fit_legacy ())) in
+  let e2e_after = time_n (fun () -> ignore (fit_new ())) in
+  Pool.set_default_size (Pool.env_domains ());
+  let kernels =
+    [ ("init-cv-grid", init_before, init_after);
+      ("somp-fit", somp_before, somp_after);
+      ("ac-sweep", sweep_before, sweep_after);
+      ("fit-e2e", e2e_before, e2e_after) ]
+  in
+  List.iter
+    (fun (name, before, after) ->
+      Format.fprintf fmt "  %-18s before %10.4f s   after %10.4f s   %6.2fx@."
+        name before after (before /. after))
+    kernels;
+  let parity =
+    [ ("init_identical", init_identical);
+      ("somp_support_identical", somp_support_identical);
+      ("somp_coeffs_close", somp_coeffs_close);
+      ("sweep_bit_identical", sweep_bit_identical);
+      ("e2e_coeffs_identical", e2e_coeffs_identical) ]
+  in
+  List.iter
+    (fun (name, ok) -> Format.fprintf fmt "  parity %-24s %b@." name ok)
+    parity;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"workload\": %S,\n" workload;
+  Printf.bprintf buf "  \"model_hash\": \"%Lx\",\n" e2e_hash_after;
+  Buffer.add_string buf "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, before, after) ->
+      Printf.bprintf buf
+        "    {\"name\": %S, \"seconds_before\": %.6f, \"seconds_after\": \
+         %.6f, \"speedup\": %.4f}%s\n"
+        name before after (before /. after)
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"parity\": {\n";
+  List.iteri
+    (fun i (name, ok) ->
+      Printf.bprintf buf "    \"%s\": %b%s\n" name ok
+        (if i = List.length parity - 1 then "" else ","))
+    parity;
+  Buffer.add_string buf "  },\n";
+  Printf.bprintf buf "  \"speedup_init_cv\": %.4f,\n" (init_before /. init_after);
+  Printf.bprintf buf "  \"speedup_ac_sweep\": %.4f\n" (sweep_before /. sweep_after);
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_frontend.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Format.fprintf fmt "  [wrote BENCH_frontend.json]@.";
+  let bad = List.filter (fun (_, ok) -> not ok) parity in
+  if bad <> [] then begin
+    Format.fprintf fmt "  FRONTEND FAIL: parity broken for %s@."
+      (String.concat ", " (List.map fst bad));
+    exit 1
+  end;
+  if smoke then begin
+    let ic = open_in "BENCH_frontend.json" in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let has needle =
+      let nl = String.length needle and bl = String.length body in
+      let rec scan i =
+        if i + nl > bl then false
+        else if String.sub body i nl = needle then true
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let required =
+      [ "\"workload\""; "\"model_hash\""; "\"kernels\"";
+        "\"init-cv-grid\""; "\"somp-fit\""; "\"ac-sweep\""; "\"fit-e2e\"";
+        "\"seconds_before\""; "\"seconds_after\""; "\"speedup\"";
+        "\"parity\""; "\"init_identical\": true";
+        "\"somp_support_identical\": true"; "\"somp_coeffs_close\": true";
+        "\"sweep_bit_identical\": true"; "\"e2e_coeffs_identical\": true";
+        "\"speedup_init_cv\""; "\"speedup_ac_sweep\"" ]
+    in
+    let missing = List.filter (fun key -> not (has key)) required in
+    if missing <> [] then begin
+      Format.fprintf fmt "  SMOKE FAIL: missing %s@."
+        (String.concat ", " missing);
+      exit 1
+    end;
+    Format.fprintf fmt "  smoke OK: schema valid, all parity flags true@."
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------- *)
 
 let micro_dataset () =
@@ -550,5 +844,6 @@ let () =
   if want "par" then run_par ~quick;
   if want "posterior" then run_posterior ~smoke;
   if want "serve" then run_serve ~smoke;
+  if want "frontend" then run_frontend ~smoke;
   Format.fprintf fmt "@.[bench complete in %.1f s wall clock]@."
     (Unix.gettimeofday () -. t0)

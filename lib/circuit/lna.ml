@@ -114,7 +114,26 @@ let mean_over f lo n =
   done;
   !acc /. float_of_int n
 
-let evaluate_raw proc ~state (x : Vec.t) =
+(* The small-signal model of one (state, variation sample): the
+   operating points, the stamped netlist, and everything the gain /
+   noise / IIP3 blocks need downstream.  Built once per sample and
+   shared between the single-frequency PoI evaluation and the
+   multi-frequency gain curve, which sweeps the same netlist through
+   {!Mna.ac_sweep} instead of rebuilding it per point. *)
+type small_signal = {
+  ckt : Mna.t;
+  n_in : Mna.node;
+  n_g : Mna.node;
+  n_s : Mna.node;
+  n_x : Mna.node;
+  n_out : Mna.node;
+  ss_op1 : Mosfet.op_point;
+  ss_op2 : Mosfet.op_point;
+  ss_rp : float;  (* tank loss resistor, with sheet spread *)
+  ss_id1 : float;  (* mirrored drain current of the input device *)
+}
+
+let small_signal proc ~state (x : Vec.t) =
   assert (state >= 0 && state < n_states);
   let gl = Process.global_of proc x in
   let mm d = Process.mismatch_of proc x d in
@@ -184,29 +203,53 @@ let evaluate_raw proc ~state (x : Vec.t) =
   Mna.inductor ckt n_out Mna.ground inductance_ld;
   Mna.capacitor ckt n_out Mna.ground
     ((tank_c *. (1.0 +. gl.Process.dcpar_rel)) +. decap_c);
-  Mna.resistor ckt n_out Mna.ground
-    (resistance_rp *. (1.0 +. (0.5 *. gl.Process.drsheet_rel)));
-  let analysis = Mna.ac ckt ~freq:f0 in
+  let rp = resistance_rp *. (1.0 +. (0.5 *. gl.Process.drsheet_rel)) in
+  Mna.resistor ckt n_out Mna.ground rp;
+  {
+    ckt;
+    n_in;
+    n_g;
+    n_s;
+    n_x;
+    n_out;
+    ss_op1 = op1;
+    ss_op2 = op2;
+    ss_rp = rp;
+    ss_id1 = id1;
+  }
+
+(* Gain at one factorized frequency point: Norton drive of the source
+   EMF (unit EMF → current 1/Rs into the input node), referenced to the
+   matched input voltage (EMF/2). *)
+let gain_db ss analysis =
+  let sol = Mna.solve_injection analysis ~pos:ss.n_in ~neg:Mna.ground in
+  let scale = 1.0 /. rsource in
+  let v_out = Complex.norm (Mna.voltage sol ss.n_out) *. scale in
+  Units.db_of_voltage_ratio (2.0 *. Float.max v_out 1e-12)
+
+let evaluate_raw proc ~state (x : Vec.t) =
+  let ss = small_signal proc ~state x in
+  let op1 = ss.ss_op1 and op2 = ss.ss_op2 in
+  let analysis = Mna.ac ss.ckt ~freq:f0 in
   (* --- Gain: Norton drive of the source EMF (unit EMF → current 1/Rs
      into the input node). --- *)
-  let sol = Mna.solve_injection analysis ~pos:n_in ~neg:Mna.ground in
+  let sol = Mna.solve_injection analysis ~pos:ss.n_in ~neg:Mna.ground in
   let scale = 1.0 /. rsource in
-  let v_out = Complex.norm (Mna.voltage sol n_out) *. scale in
-  let v_gs = Complex.norm (Mna.differential sol n_g n_s) *. scale in
+  let v_out = Complex.norm (Mna.voltage sol ss.n_out) *. scale in
+  let v_gs = Complex.norm (Mna.differential sol ss.n_g ss.n_s) *. scale in
   (* Gain referenced to the matched input voltage (EMF/2). *)
   let vg_db = Units.db_of_voltage_ratio (2.0 *. Float.max v_out 1e-12) in
   (* --- Noise figure. --- *)
   let input_source =
-    Noise.resistor_source ~label:"Rs" n_in Mna.ground ~r:rsource
+    Noise.resistor_source ~label:"Rs" ss.n_in Mna.ground ~r:rsource
   in
   let others =
-    [ Noise.channel_source ~label:"M1" ~drain:n_x ~source:n_s op1;
-      Noise.channel_source ~label:"M2" ~drain:n_out ~source:n_x op2;
-      Noise.resistor_source ~label:"Rp" n_out Mna.ground
-        ~r:(resistance_rp *. (1.0 +. (0.5 *. gl.Process.drsheet_rel))) ]
+    [ Noise.channel_source ~label:"M1" ~drain:ss.n_x ~source:ss.n_s op1;
+      Noise.channel_source ~label:"M2" ~drain:ss.n_out ~source:ss.n_x op2;
+      Noise.resistor_source ~label:"Rp" ss.n_out Mna.ground ~r:ss.ss_rp ]
   in
   let nf_db =
-    Noise.noise_figure_db analysis ~out_pos:n_out ~out_neg:Mna.ground
+    Noise.noise_figure_db analysis ~out_pos:ss.n_out ~out_neg:Mna.ground
       ~input_source others
   in
   (* --- IIP3 from the input device's weak nonlinearity. --- *)
@@ -220,7 +263,22 @@ let evaluate_raw proc ~state (x : Vec.t) =
       ~vgs_per_vsource:(Float.max v_gs 1e-9)
       ~rsource
   in
-  { bias_current = id1; gm1 = op1.Mosfet.gm; nf_db; vg_db; iip3_dbm }
+  { bias_current = ss.ss_id1; gm1 = op1.Mosfet.gm; nf_db; vg_db; iip3_dbm }
+
+let gain_curve_of proc ~state x ~freqs =
+  let ss = small_signal proc ~state x in
+  Array.map (gain_db ss) (Mna.ac_sweep ss.ckt ~freqs)
+
+(* The pre-sweep cost model: one netlist construction + one [Mna.ac]
+   stamp/factorize per frequency point — what an M-point curve cost
+   before {!Mna.ac_sweep} existed.  Kept as the bit-exactness oracle
+   for {!gain_curve} and as the "before" baseline in the bench. *)
+let gain_curve_naive_of proc ~state x ~freqs =
+  Array.map
+    (fun f ->
+      let ss = small_signal proc ~state x in
+      gain_db ss (Mna.ac ss.ckt ~freq:f))
+    freqs
 
 let create () =
   let proc = Process.create device_specs in
@@ -236,8 +294,15 @@ let create () =
     poi_names = [| "NF"; "VG"; "IIP3" |];
     poi_units = [| "dB"; "dB"; "dBm" |];
     evaluate;
+    curve = Some (fun ~state x ~freqs -> gain_curve_of proc ~state x ~freqs);
     (* 2.72 h for 1120 transistor-level samples (paper, Table 1). *)
     seconds_per_sample = 2.72 *. 3600.0 /. 1120.0;
   }
 
 let evaluate_internals tb ~state x = evaluate_raw tb.Testbench.process ~state x
+
+let gain_curve tb ~state x ~freqs =
+  gain_curve_of tb.Testbench.process ~state x ~freqs
+
+let gain_curve_naive tb ~state x ~freqs =
+  gain_curve_naive_of tb.Testbench.process ~state x ~freqs

@@ -60,6 +60,20 @@ exception Singular_circuit
 val ac : t -> freq:float -> analysis
 (** Build and factorize the nodal matrix at [freq] (Hz, > 0). *)
 
+val ac_sweep : t -> freqs:float array -> analysis array
+(** Factorized systems at every frequency of a sweep, stamping the
+    netlist only once: the frequency-independent conductance plane and
+    the reactive (jωC, −j/ωΓ) stamps are split when the sweep is
+    compiled, and each frequency reassembles Y(ω) as a scaled add.
+    The per-frequency result is bit-identical to calling {!ac} at that
+    frequency (same accumulation order, same factorization), and the
+    ["mna.solve"] fault-injection site fires once per frequency, as a
+    per-frequency {!ac} loop would.
+
+    [freqs] must be non-empty, every entry positive and finite, and
+    strictly increasing; violations raise [Invalid_argument] naming
+    the offending entry and its index. *)
+
 val solve_injection : analysis -> pos:node -> neg:node -> Complex.t array
 (** Node voltages (index 0 = ground = 0V) for a unit AC current
     injected into [pos] and drawn from [neg]. *)

@@ -50,6 +50,17 @@ val generate :
     [Cbmf_robust.Fault.Error (Sim_failure _)] if some state loses all
     its samples. *)
 
+val curves : t -> freqs:float array -> Mat.t array
+(** Per-state frequency-response curves of the testbench's swept PoI
+    over the already-generated samples: element [(i, j)] of state [k]'s
+    matrix is the curve value of sample [i] at [freqs.(j)].  Each
+    sample's netlist is built once and swept via {!Mna.ac_sweep}; the
+    evaluations are fanned over the domain pool with index-owned
+    writes, so the result is bit-identical at any domain count.
+    Raises [Invalid_argument] if the testbench has no [curve] (see
+    {!Testbench.t}) or if [freqs] is invalid ({!Mna.ac_sweep}'s
+    validation). *)
+
 val total_samples : t -> int
 (** Number of retained (state, sample) pairs — the unit of the cost
     model. *)

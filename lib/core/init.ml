@@ -29,16 +29,18 @@ type result = {
 
 (* One incremental greedy pass.  G starts at σ0²·I and grows by the
    rank-K contribution E_s·R·E_sᵀ = Σ_j (E_s·L_R·e_j)(…)ᵀ of each
-   selected basis s (λ = 1), maintained as rank-1 Cholesky updates. *)
-let greedy_pass ~(train : Dataset.t) ~test ~r0 ~sigma0 ~theta_max =
+   selected basis s (λ = 1), maintained as rank-1 Cholesky updates.
+   [r_chol] is the pair (R(r0), lower Cholesky factor of R) — invariant
+   across σ0 and folds, so {!run} factorizes it once per r0 instead of
+   once per grid cell. *)
+let greedy_pass_pre ~r_chol:(r, l_r) ~(train : Dataset.t) ~test ~sigma0
+    ~theta_max =
   let k = train.Dataset.n_states
   and n = train.Dataset.n_samples
   and m = train.Dataset.n_basis in
   let nk = k * n in
   let theta_max = Stdlib.min theta_max (Stdlib.min (nk - 1) m) in
   assert (theta_max >= 1);
-  let r = Prior.r_of_r0 ~n_states:k ~r0 in
-  let l_r = Chol.lower (Chol.factorize_with_retry r) in
   let chol_g = Chol.of_scaled_identity nk (sigma0 *. sigma0) in
   let y = Array.make nk 0.0 in
   for s = 0 to k - 1 do
@@ -132,44 +134,83 @@ let greedy_pass ~(train : Dataset.t) ~test ~r0 ~sigma0 ~theta_max =
    with Not_found -> ());
   (Array.of_list (List.rev !support), Array.of_list (List.rev !errors))
 
+let greedy_pass ~(train : Dataset.t) ~test ~r0 ~sigma0 ~theta_max =
+  let r = Prior.r_of_r0 ~n_states:train.Dataset.n_states ~r0 in
+  let l_r = Chol.lower (Chol.factorize_with_retry r) in
+  greedy_pass_pre ~r_chol:(r, l_r) ~train ~test ~sigma0 ~theta_max
+
 let run ?(config = default_config) (d : Dataset.t) =
   assert (Array.length config.r0_grid > 0);
   assert (Array.length config.sigma0_grid > 0);
   let pool = Cbmf_parallel.Pool.default () in
+  (* --- Shared grid precomputation ------------------------------------
+     Algorithm 1 prices an r0 × σ0 × fold grid of independent greedy
+     passes; everything invariant across part of that nest is hoisted
+     out of it:
+     – the CV fold datasets (invariant across the whole grid) are
+       materialized once instead of once per (r0, σ0) cell, and their
+       column-norm / Bᵀy caches are warmed up front so the pool
+       workers below only ever read them;
+     – R(r0) and its Cholesky factor (invariant across σ0 and folds)
+       are factorized once per r0 value. *)
+  Dataset.warm_caches d;
+  let folds =
+    Array.init config.n_folds (fun fold ->
+        let train, test = Dataset.split_fold d ~n_folds:config.n_folds ~fold in
+        Dataset.warm_caches train;
+        Dataset.warm_caches test;
+        (train, test))
+  in
+  let r_chols =
+    Array.map
+      (fun r0 ->
+        let r = Prior.r_of_r0 ~n_states:d.Dataset.n_states ~r0 in
+        (r, Chol.lower (Chol.factorize_with_retry r)))
+      config.r0_grid
+  in
+  (* Every (r0, σ0, fold) cell is independent: flatten the whole grid
+     into one task list so the pool balances n_r0·n_σ0·n_folds units at
+     once instead of n_folds at a time.  The reduction below walks the
+     results in the original (r0 outer, σ0 inner, fold, θ ascending)
+     order, so the selected cell — including tie-breaking — is
+     identical to the sequential triple loop. *)
+  let n_s0 = Array.length config.sigma0_grid in
+  let n_cells =
+    Array.length config.r0_grid * n_s0 * config.n_folds
+  in
+  let cell_errs =
+    Cbmf_parallel.Pool.map ~chunk:1 pool ~n:n_cells (fun idx ->
+        let r0_i = idx / (n_s0 * config.n_folds) in
+        let rest = idx mod (n_s0 * config.n_folds) in
+        let s0_i = rest / config.n_folds
+        and fold = rest mod config.n_folds in
+        let train, test = folds.(fold) in
+        let _, errs =
+          greedy_pass_pre ~r_chol:r_chols.(r0_i) ~train ~test:(Some test)
+            ~sigma0:config.sigma0_grid.(s0_i) ~theta_max:config.theta_max
+        in
+        errs)
+  in
   let best = ref None in
-  Array.iter
-    (fun r0 ->
-      Array.iter
-        (fun sigma0 ->
-          (* Algorithm 1 steps 1–17: the folds are independent greedy
-             passes, fanned out across domains; accumulating the
-             returned error curves sequentially in fold order keeps the
-             result identical to the sequential loop. *)
-          let fold_errs =
-            Cbmf_parallel.Pool.map ~chunk:1 pool ~n:config.n_folds
-              (fun fold ->
-                let train, test =
-                  Dataset.split_fold d ~n_folds:config.n_folds ~fold
-                in
-                let _, errs =
-                  greedy_pass ~train ~test:(Some test) ~r0 ~sigma0
-                    ~theta_max:config.theta_max
-                in
-                errs)
-          in
+  Array.iteri
+    (fun r0_i r0 ->
+      Array.iteri
+        (fun s0_i sigma0 ->
           let acc = ref [||] in
           let n_err = ref max_int in
-          Array.iteri
-            (fun fold errs ->
-              n_err := Stdlib.min !n_err (Array.length errs);
-              if fold = 0 then acc := Array.copy errs
-              else
-                for i = 0
-                     to Stdlib.min (Array.length !acc) (Array.length errs) - 1
-                do
-                  !acc.(i) <- !acc.(i) +. errs.(i)
-                done)
-            fold_errs;
+          for fold = 0 to config.n_folds - 1 do
+            let errs =
+              cell_errs.((((r0_i * n_s0) + s0_i) * config.n_folds) + fold)
+            in
+            n_err := Stdlib.min !n_err (Array.length errs);
+            if fold = 0 then acc := Array.copy errs
+            else
+              for i = 0
+                   to Stdlib.min (Array.length !acc) (Array.length errs) - 1
+              do
+                !acc.(i) <- !acc.(i) +. errs.(i)
+              done
+          done;
           let n_err = Stdlib.min !n_err (Array.length !acc) in
           for theta_i = 0 to n_err - 1 do
             let e = !acc.(theta_i) /. float_of_int config.n_folds in

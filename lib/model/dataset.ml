@@ -6,6 +6,8 @@ type t = {
   n_basis : int;
   design : Mat.t array;
   response : Vec.t array;
+  mutable norms_cache : Vec.t option array;
+  mutable bty_cache : Vec.t option array;
 }
 
 let create ~design ~response =
@@ -20,7 +22,49 @@ let create ~design ~response =
       assert (b.Mat.cols = n_basis);
       assert (Array.length response.(k) = n_samples))
     design;
-  { n_states; n_samples; n_basis; design; response }
+  {
+    n_states;
+    n_samples;
+    n_basis;
+    design;
+    response;
+    norms_cache = Array.make n_states None;
+    bty_cache = Array.make n_states None;
+  }
+
+(* --- Per-design-matrix caches -----------------------------------------
+   Column norms and Bᵀy are invariants of a design matrix, but the
+   greedy front end (S-OMP selection, Algorithm 1's grid) historically
+   recomputed them inside every iteration — an O(N·M·θ) term that
+   dominates selection once fitting is cheap.  They are computed lazily,
+   once per state, and shared by every subsequent pass over the same
+   dataset.  The returned arrays are the cache itself: callers must not
+   mutate them.  Writing a freshly computed array into the slot is a
+   single pointer store, and the value is a pure function of the design,
+   so concurrent lazy initialization from pool workers is idempotent;
+   [warm_caches] lets hot paths force the fill before fanning out. *)
+
+let column_norms d k =
+  match d.norms_cache.(k) with
+  | Some v -> v
+  | None ->
+      let v = Cbmf_basis.Dictionary.column_norms d.design.(k) in
+      d.norms_cache.(k) <- Some v;
+      v
+
+let bty d k =
+  match d.bty_cache.(k) with
+  | Some v -> v
+  | None ->
+      let v = Mat.mat_tvec d.design.(k) d.response.(k) in
+      d.bty_cache.(k) <- Some v;
+      v
+
+let warm_caches d =
+  for k = 0 to d.n_states - 1 do
+    ignore (column_norms d k);
+    ignore (bty d k)
+  done
 
 let truncate_samples d ~n =
   assert (n > 0 && n <= d.n_samples);

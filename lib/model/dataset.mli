@@ -14,10 +14,31 @@ type t = private {
   n_basis : int;  (** M *)
   design : Mat.t array;  (** B_k, N×M *)
   response : Vec.t array;  (** y_k, length N *)
+  mutable norms_cache : Vec.t option array;
+      (** lazily filled per-state column norms — use {!column_norms} *)
+  mutable bty_cache : Vec.t option array;
+      (** lazily filled per-state [B_kᵀ y_k] — use {!bty} *)
 }
 
 val create : design:Mat.t array -> response:Vec.t array -> t
 (** Validates that all states agree on N and M. *)
+
+val column_norms : t -> int -> Vec.t
+(** [column_norms d k] is {!Cbmf_basis.Dictionary.column_norms} of
+    [d.design.(k)], computed once per design matrix and cached — the
+    greedy selection loops (S-OMP, OMP, Algorithm 1) call this every
+    iteration, turning an O(N·M·θ) recomputation into O(N·M).  Returns
+    the cached array itself: do not mutate. *)
+
+val bty : t -> int -> Vec.t
+(** [bty d k] is [B_kᵀ y_k], cached like {!column_norms} — the
+    right-hand side every support refit slices from.  Returns the
+    cached array itself: do not mutate. *)
+
+val warm_caches : t -> unit
+(** Force {!column_norms} and {!bty} for every state.  Hot paths that
+    fan work over a shared dataset ({!Cbmf_core.Init.run}) call this
+    before the parallel region so worker domains only read. *)
 
 val truncate_samples : t -> n:int -> t
 (** Keep the first [n] samples of every state. *)

@@ -2,12 +2,12 @@ open Cbmf_linalg
 
 type result = { support : int array; coeffs : Vec.t }
 
-let fit ~design ~response ~n_terms =
+let fit_with_norms ~norms ~design ~response ~n_terms =
   let n = design.Mat.rows and m = design.Mat.cols in
   assert (Array.length response = n);
+  assert (Array.length norms = m);
   let n_terms = Stdlib.min n_terms (Stdlib.min n m) in
   assert (n_terms > 0);
-  let norms = Cbmf_basis.Dictionary.column_norms design in
   let selected = Array.make m false in
   let support = ref [] in
   let residual = ref (Vec.copy response) in
@@ -45,6 +45,11 @@ let fit ~design ~response ~n_terms =
       let coeffs = Vec.create m in
       Array.iteri (fun j col -> coeffs.(col) <- c.(j)) sup;
       { support = sup; coeffs }
+
+let fit ~design ~response ~n_terms =
+  fit_with_norms
+    ~norms:(Cbmf_basis.Dictionary.column_norms design)
+    ~design ~response ~n_terms
 
 let predict r design = Mat.mat_vec design r.coeffs
 

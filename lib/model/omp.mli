@@ -13,6 +13,12 @@ val fit : design:Mat.t -> response:Vec.t -> n_terms:int -> result
     and row counts), re-solving least squares on the support at every
     step. *)
 
+val fit_with_norms :
+  norms:Vec.t -> design:Mat.t -> response:Vec.t -> n_terms:int -> result
+(** {!fit} for callers that already hold the design's column norms
+    (e.g. via {!Dataset.column_norms}) — skips recomputing them, the
+    only O(N·M) setup term the greedy loop repays per call. *)
+
 val fit_cv :
   design:Mat.t ->
   response:Vec.t ->

@@ -20,7 +20,24 @@ val select_next : Dataset.t -> residual:Vec.t array -> exclude:bool array -> int
     every column is excluded. *)
 
 val fit : Dataset.t -> n_terms:int -> result
-(** Greedy fit with a fixed support size (capped at N and M). *)
+(** Greedy fit with a fixed support size (capped at N and M).
+
+    The per-step least-squares refit is incremental: each state's
+    support Gram keeps a bordered Cholesky factor, so adding a column
+    costs O(N·a + a²) instead of the naive from-scratch QR's O(N·a²).
+    When a border pivot collapses (the new column is numerically in
+    the span of the support) the pass degrades, downdate-free, to the
+    naive QR refit of {!fit_naive} for the remaining steps and notes a
+    [Not_pd] fault in the ambient {!Cbmf_robust.Diag} recorder.  A
+    pass that ends before [n_terms] (no admissible column, or a
+    rank-deficient refit) returns the completed prefix and notes an
+    [Early_stop] fault instead of failing silently. *)
+
+val fit_naive : Dataset.t -> n_terms:int -> result
+(** The pre-incremental reference path: a from-scratch QR refit per
+    greedy step.  Kept as the oracle for {!fit} — same selection rule,
+    same early-stop semantics — and as the "before" baseline for the
+    front-end bench. *)
 
 val fit_cv :
   Dataset.t -> n_folds:int -> candidate_terms:int array -> result * int

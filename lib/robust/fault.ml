@@ -6,6 +6,7 @@ type t =
   | Sim_failure of { site : string; state : int; sample : int; tries : int }
   | Worker_error of { site : string; message : string }
   | Bad_snapshot of { site : string; reason : string }
+  | Early_stop of { site : string; step : int; reason : string }
 
 exception Error of t
 
@@ -17,6 +18,7 @@ type class_ =
   | C_sim_failure
   | C_worker_error
   | C_bad_snapshot
+  | C_early_stop
 
 let class_of = function
   | Not_pd _ -> C_not_pd
@@ -26,6 +28,7 @@ let class_of = function
   | Sim_failure _ -> C_sim_failure
   | Worker_error _ -> C_worker_error
   | Bad_snapshot _ -> C_bad_snapshot
+  | Early_stop _ -> C_early_stop
 
 let class_name = function
   | C_not_pd -> "not-pd"
@@ -35,6 +38,7 @@ let class_name = function
   | C_sim_failure -> "sim-failure"
   | C_worker_error -> "worker-error"
   | C_bad_snapshot -> "bad-snapshot"
+  | C_early_stop -> "early-stop"
 
 let site = function
   | Not_pd { site; _ }
@@ -42,7 +46,8 @@ let site = function
   | Non_finite { site; _ }
   | Sim_failure { site; _ }
   | Worker_error { site; _ }
-  | Bad_snapshot { site; _ } ->
+  | Bad_snapshot { site; _ }
+  | Early_stop { site; _ } ->
       site
   | Em_divergence _ -> "em"
 
@@ -64,6 +69,8 @@ let to_string = function
       Printf.sprintf "worker-error @%s: %s" site message
   | Bad_snapshot { site; reason } ->
       Printf.sprintf "bad-snapshot @%s: %s" site reason
+  | Early_stop { site; step; reason } ->
+      Printf.sprintf "early-stop @%s: stopped at step %d (%s)" site step reason
 
 let () =
   Printexc.register_printer (function

@@ -27,6 +27,14 @@ type t =
           (truncated file, checksum mismatch, unknown format version,
           malformed payload).  Loading never crashes on bad bytes — it
           raises this typed fault instead. *)
+  | Early_stop of { site : string; step : int; reason : string }
+      (** An iterative front-end pass (greedy S-OMP selection, a CV
+          fold) terminated before its requested length at [step] —
+          e.g. every candidate column was exhausted, or a refit went
+          rank-deficient.  Recoverable by construction (the pass
+          returns its prefix), but a silently truncated pass skews
+          model selection, so the truncation is recorded instead of
+          being swallowed. *)
 
 exception Error of t
 (** Raised when a fault cannot be recovered locally. *)
@@ -39,6 +47,7 @@ type class_ =
   | C_sim_failure
   | C_worker_error
   | C_bad_snapshot
+  | C_early_stop
 
 val class_of : t -> class_
 

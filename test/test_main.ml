@@ -20,4 +20,5 @@ let () =
          Test_robust.suite;
          Test_serve.suite;
          Test_posterior_oracle.suite;
+         Test_frontend_oracle.suite;
          Test_integration.suite ])
