@@ -8,7 +8,9 @@
    reports the true paper-scale fitting costs).
 
    Usage: main.exe [tab1] [tab2] [fig2] [fig3] [ablation] [micro] [par]
-                   [posterior] [serve] [frontend] [quick|full|smoke]
+                   [posterior] [serve] [frontend] [synth] [quick|full|smoke]
+   CBMF_BENCH_QUICK=1 forces the reduced [synth] grid without smoke
+   validation.
    With no arguments everything runs at paper scale with a 4-point
    sample-budget grid for the figures; [full] uses the paper's 6-point
    grid, [quick] reduced (non-paper) settings. *)
@@ -467,12 +469,7 @@ let run_frontend ~smoke =
   let module Pool = Cbmf_parallel.Pool in
   let open Cbmf_linalg in
   Pool.set_default_size 1;
-  let hash_floats (xs : float array) =
-    Array.fold_left
-      (fun acc x ->
-        Int64.mul (Int64.logxor acc (Int64.bits_of_float x)) 0x100000001B3L)
-      0xCBF29CE484222325L xs
-  in
+  let hash_floats = Cbmf_testkit.Seeded.hash_floats in
   let workload, d, init_config, somp_terms =
     if smoke then begin
       let rng = Cbmf_prob.Rng.create 7 in
@@ -740,6 +737,204 @@ let run_frontend ~smoke =
     Format.fprintf fmt "  smoke OK: schema valid, all parity flags true@."
   end
 
+(* --- Synthetic scaling matrix -------------------------------------- *)
+
+(* Scales the spec-driven synthetic workload over a (K, d) grid no
+   physical testbench reaches — K up to 256 states, d up to 10⁵ device
+   variables — and writes BENCH_synthetic.json: per cell, generation
+   time, a budget-sized front-end fit, the structured posterior on the
+   true support with the solver path Auto actually took (the
+   dual/primal crossover moves through the grid as NK crosses aK), and
+   batched serving throughput against the oracle-exact snapshot.  A
+   small ground-truth recovery comparison (C-BMF vs the uncorrelated
+   ablation at rho = 0.9, low budgets) rides along.  [quick] — smoke
+   mode or CBMF_BENCH_QUICK=1 — shrinks the grid to seconds; smoke
+   additionally re-reads the JSON and fails hard unless the schema
+   holds and every cell records a dual/primal path. *)
+let run_synth ~smoke =
+  let module Synthetic = Cbmf_circuit.Synthetic in
+  let module Pool = Cbmf_parallel.Pool in
+  let quick = smoke || Sys.getenv_opt "CBMF_BENCH_QUICK" = Some "1" in
+  section
+    (if quick then "synth (quick: reduced synthetic scaling grid)"
+     else "synth (synthetic scaling matrix: K x d, path per cell)");
+  Pool.set_default_size 1;
+  let active = 6 and rho = 0.9 in
+  (* n/state is budget-sized per d so the grid sweeps the Auto
+     crossover: primal where aK < NK strictly, dual elsewhere. *)
+  let grid =
+    if quick then [ (4, 24, 10); (8, 600, 3) ]
+    else
+      [ (32, 1_000, 10); (32, 10_000, 6); (32, 100_000, 4);
+        (128, 1_000, 10); (128, 10_000, 6); (128, 100_000, 4);
+        (256, 1_000, 10); (256, 10_000, 6); (256, 100_000, 4) ]
+  in
+  let now () = Unix.gettimeofday () in
+  let run_cell (k, d, n_per_state) =
+    let spec =
+      { Synthetic.k; m = d + 1; d; active_per_state = active; rho;
+        noise_sigma = 0.05; density = 0.2; seed = 33 }
+    in
+    let t0 = now () in
+    let truth = Synthetic.truth spec in
+    let train = Synthetic.dataset truth ~n_per_state in
+    let gen_s = now () -. t0 in
+    let t0 = now () in
+    let path = Recovery.posterior_path truth train in
+    let posterior_s = now () -. t0 in
+    let fit_config =
+      {
+        Cbmf_core.Cbmf.init =
+          {
+            Cbmf_core.Init.r0_grid = [| rho |];
+            sigma0_grid = [| 0.1 |];
+            theta_max = active + 2;
+            n_folds = 2;
+            lambda_off = 1e-7;
+          };
+        em = { Cbmf_core.Em.default_config with max_iter = 5; tol = 1e-3 };
+      }
+    in
+    (* The front-end fit cost grows superlinearly in K (the CV grid's
+       Bayesian greedy solves couple all states), so the budget-sized
+       fit is timed only where it finishes in minutes; -1 marks a
+       skipped cell.  The posterior/path and serving columns — the
+       scaling claims under test — are measured at every cell. *)
+    let do_fit = k <= 32 || k * d <= 3_000_000 in
+    let fit_s =
+      if do_fit then begin
+        let t0 = now () in
+        ignore (Cbmf_core.Cbmf.fit ~config:fit_config train);
+        now () -. t0
+      end
+      else -1.0
+    in
+    let n_batch = Int.max 256 (1_000_000 / d) in
+    let model = Cbmf_serve.Model.of_synthetic truth in
+    let xs, states = Synthetic.batch_inputs truth ~salt:0 ~n:n_batch in
+    let t0 = now () in
+    let means, _ = Cbmf_serve.Engine.predict_batch model ~states ~xs in
+    let predict_s = now () -. t0 in
+    if not (Array.for_all Float.is_finite means) then begin
+      Format.fprintf fmt "  SYNTH FAIL: non-finite predictions at K=%d d=%d@."
+        k d;
+      exit 1
+    end;
+    if path <> "dual" && path <> "primal" then begin
+      Format.fprintf fmt "  SYNTH FAIL: bad posterior path %S at K=%d d=%d@."
+        path k d;
+      exit 1
+    end;
+    let pts_per_s = float_of_int n_batch /. Float.max predict_s 1e-9 in
+    let fit_str =
+      if fit_s < 0.0 then "   skip" else Printf.sprintf "%7.2f" fit_s
+    in
+    Format.fprintf fmt
+      "  K=%-4d d=%-7d n/st=%-3d gen %7.2f s   fit %s s   posterior \
+       %8.4f s (%-6s)   predict %10.0f pts/s@."
+      k d n_per_state gen_s fit_str posterior_s path pts_per_s;
+    (k, d, spec.Synthetic.m, n_per_state, gen_s, fit_s, posterior_s, path,
+     pts_per_s)
+  in
+  let cells = List.map run_cell grid in
+  (* Ground-truth recovery: correlated fit vs the uncorrelated ablation
+     on a low-budget rho = 0.9 workload. *)
+  let rspec =
+    { Synthetic.default_spec with
+      Synthetic.k = 12; m = 31; d = 15; active_per_state = 4; rho;
+      noise_sigma = 0.05; density = 0.2; seed = 5 }
+  in
+  let budgets = if quick then [| 4 |] else [| 4; 6; 8 |] in
+  let rcells =
+    Recovery.run_grid ~n_test:25
+      ~methods:[ `Cbmf; `Uncorrelated ]
+      ~specs:[| rspec |] ~budgets ()
+  in
+  Format.fprintf fmt "@.%a" Recovery.pp_cells rcells;
+  let mean_f1 m =
+    let sel =
+      Array.of_list
+        (List.filter
+           (fun c -> c.Recovery.method_ = m)
+           (Array.to_list rcells))
+    in
+    Array.fold_left (fun acc c -> acc +. c.Recovery.f1) 0.0 sel
+    /. float_of_int (Array.length sel)
+  in
+  let f1_cbmf = mean_f1 `Cbmf and f1_unc = mean_f1 `Uncorrelated in
+  Format.fprintf fmt
+    "  recovery F1 (rho=%.1f, budgets %s): cbmf %.3f   uncorrelated %.3f@."
+    rho
+    (String.concat "," (List.map string_of_int (Array.to_list budgets)))
+    f1_cbmf f1_unc;
+  Pool.set_default_size (Pool.env_domains ());
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"quick\": %b,\n" quick;
+  Printf.bprintf buf "  \"active_per_state\": %d,\n" active;
+  Printf.bprintf buf "  \"rho\": %.2f,\n" rho;
+  Buffer.add_string buf "  \"cells\": [\n";
+  List.iteri
+    (fun i (k, d, m, n, gen_s, fit_s, posterior_s, path, pts) ->
+      Printf.bprintf buf
+        "    {\"k\": %d, \"d\": %d, \"m\": %d, \"n_per_state\": %d, \
+         \"gen_s\": %.4f, \"fit_s\": %.4f, \"posterior_s\": %.6f, \
+         \"posterior_path\": %S, \"predict_pts_per_s\": %.1f}%s\n"
+        k d m n gen_s fit_s posterior_s path pts
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"recovery\": {\n";
+  Printf.bprintf buf "    \"rho\": %.2f,\n" rho;
+  Printf.bprintf buf "    \"budgets\": [%s],\n"
+    (String.concat ", " (List.map string_of_int (Array.to_list budgets)));
+  Printf.bprintf buf "    \"f1_cbmf\": %.4f,\n" f1_cbmf;
+  Printf.bprintf buf "    \"f1_uncorrelated\": %.4f,\n" f1_unc;
+  Printf.bprintf buf "    \"f1_gap\": %.4f\n" (f1_cbmf -. f1_unc);
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_synthetic.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Format.fprintf fmt "  [wrote BENCH_synthetic.json]@.";
+  if smoke then begin
+    let ic = open_in "BENCH_synthetic.json" in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let has needle =
+      let nl = String.length needle and bl = String.length body in
+      let rec scan i =
+        if i + nl > bl then false
+        else if String.sub body i nl = needle then true
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let required =
+      [ "\"quick\""; "\"active_per_state\""; "\"rho\""; "\"cells\"";
+        "\"k\""; "\"d\""; "\"m\""; "\"n_per_state\""; "\"gen_s\"";
+        "\"fit_s\""; "\"posterior_s\""; "\"posterior_path\"";
+        "\"predict_pts_per_s\""; "\"recovery\""; "\"budgets\"";
+        "\"f1_cbmf\""; "\"f1_uncorrelated\""; "\"f1_gap\"" ]
+    in
+    let missing = List.filter (fun key -> not (has key)) required in
+    if missing <> [] then begin
+      Format.fprintf fmt "  SMOKE FAIL: missing %s@."
+        (String.concat ", " missing);
+      exit 1
+    end;
+    (* The quick grid is sized to exercise both solver paths. *)
+    if not (has "\"posterior_path\": \"dual\"") then begin
+      Format.fprintf fmt "  SMOKE FAIL: no dual-path cell@.";
+      exit 1
+    end;
+    if not (has "\"posterior_path\": \"primal\"") then begin
+      Format.fprintf fmt "  SMOKE FAIL: no primal-path cell@.";
+      exit 1
+    end;
+    Format.fprintf fmt "  smoke OK: schema valid, both paths present@."
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------- *)
 
 let micro_dataset () =
@@ -845,5 +1040,6 @@ let () =
   if want "posterior" then run_posterior ~smoke;
   if want "serve" then run_serve ~smoke;
   if want "frontend" then run_frontend ~smoke;
+  if want "synth" then run_synth ~smoke;
   Format.fprintf fmt "@.[bench complete in %.1f s wall clock]@."
     (Unix.gettimeofday () -. t0)

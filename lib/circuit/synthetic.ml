@@ -1,0 +1,328 @@
+open Cbmf_linalg
+open Cbmf_parallel
+open Cbmf_model
+module Rng = Cbmf_prob.Rng
+module Term = Cbmf_basis.Term
+
+type spec = {
+  k : int;
+  m : int;
+  d : int;
+  active_per_state : int;
+  rho : float;
+  noise_sigma : float;
+  density : float;
+  seed : int;
+}
+
+let default_spec =
+  {
+    k = 8;
+    m = 41;
+    d = 40;
+    active_per_state = 5;
+    rho = 0.9;
+    noise_sigma = 0.05;
+    density = 0.2;
+    seed = 1;
+  }
+
+let validate_spec s =
+  if s.k < 1 then Error "k must be >= 1"
+  else if s.d < 1 then Error "d must be >= 1"
+  else if s.m < 2 then Error "m must be >= 2"
+  else if s.m > (2 * s.d) + 1 then Error "m must be <= 2d+1"
+  else if s.active_per_state < 1 || s.active_per_state > s.m - 1 then
+    Error "active_per_state must be in [1, m-1]"
+  else if not (Float.is_finite s.rho) || s.rho < 0.0 || s.rho >= 1.0 then
+    Error "rho must be in [0, 1)"
+  else if not (Float.is_finite s.noise_sigma) || s.noise_sigma < 0.0 then
+    Error "noise_sigma must be >= 0"
+  else if not (Float.is_finite s.density) || s.density < 0.0 || s.density > 1.0
+  then Error "density must be in [0, 1]"
+  else Ok ()
+
+let validate_spec_exn s =
+  match validate_spec s with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Synthetic: invalid spec: " ^ e)
+
+let spec_to_string s =
+  Printf.sprintf "k=%d;m=%d;d=%d;active=%d;rho=%h;noise=%h;density=%h;seed=%d"
+    s.k s.m s.d s.active_per_state s.rho s.noise_sigma s.density s.seed
+
+let spec_of_string str =
+  let s =
+    try
+      Scanf.sscanf str "k=%d;m=%d;d=%d;active=%d;rho=%h;noise=%h;density=%h;seed=%d"
+        (fun k m d active_per_state rho noise_sigma density seed ->
+          { k; m; d; active_per_state; rho; noise_sigma; density; seed })
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      invalid_arg ("Synthetic.spec_of_string: malformed spec: " ^ str)
+  in
+  validate_spec_exn s;
+  s
+
+(* --- Derived streams ------------------------------------------------
+
+   Every stochastic component reads its own [Rng.derive]d stream,
+   addressed by (spec seed, salt, state) as the base and the sample
+   index within the stream — materializable in any order, so pool
+   fan-out and prefix nesting are bit-exact by construction. *)
+
+let salt_truth = 0
+let salt_train = 1
+let salt_test = 2
+let salt_batch = 3
+let salt_cov = 4
+
+let base_for spec ~salt s =
+  let open Int64 in
+  add
+    (mul (of_int spec.seed) 0x9E3779B97F4A7C15L)
+    (add (mul (of_int salt) 0xBF58476D1CE4E5B9L) (of_int s))
+
+let stream spec ~salt s ~index = Rng.derive (base_for spec ~salt s) ~index
+
+(* --- SPD covariance factory ---------------------------------------- *)
+
+let rand_cov ~rng ~dim ~density ~shape =
+  if dim < 1 then invalid_arg "Synthetic.rand_cov: dim must be >= 1";
+  if density < 0.0 || density > 1.0 then
+    invalid_arg "Synthetic.rand_cov: density must be in [0, 1]";
+  if not (shape > 0.0) then invalid_arg "Synthetic.rand_cov: shape must be > 0";
+  if density = 0.0 then Mat.identity dim
+  else begin
+    let g =
+      Mat.init dim dim (fun _ _ ->
+          if Rng.float rng < density then Rng.gaussian rng else 0.0)
+    in
+    let s = Mat.gram g in
+    let mean_diag =
+      let tr = Mat.trace s /. float_of_int dim in
+      if tr > 0.0 then tr else 1.0
+    in
+    Mat.add_diag_inplace s (shape *. mean_diag);
+    (* Normalize to unit diagonal (a congruence, so SPD is preserved). *)
+    let inv_sd = Array.init dim (fun i -> 1.0 /. sqrt (Mat.get s i i)) in
+    Mat.mapi (fun i j x -> x *. inv_sd.(i) *. inv_sd.(j)) s
+  end
+
+type device_cov =
+  | Diagonal of float array
+  | Dense of Mat.t
+  | Low_rank of { factor : Mat.t; noise : float array }
+
+let dense_threshold = 512
+
+let low_rank_r = 16
+
+let device_cov_of_spec spec =
+  let rng = stream spec ~salt:salt_cov 0 ~index:0 in
+  if spec.density = 0.0 then Diagonal (Array.make spec.d 1.0)
+  else if spec.d <= dense_threshold then begin
+    let sigma = rand_cov ~rng ~dim:spec.d ~density:spec.density ~shape:2.0 in
+    let f = Chol.factorize_with_retry sigma in
+    Dense (Chol.lower f)
+  end
+  else begin
+    let r = low_rank_r in
+    let scale = 1.0 /. sqrt (float_of_int r) in
+    let factor =
+      Mat.init spec.d r (fun _ _ ->
+          if Rng.float rng < spec.density then scale *. Rng.gaussian rng
+          else 0.0)
+    in
+    Low_rank { factor; noise = Array.make spec.d 1.0 }
+  end
+
+let draw_x device rng =
+  match device with
+  | Diagonal v ->
+      Array.init (Array.length v) (fun i -> sqrt v.(i) *. Rng.gaussian rng)
+  | Dense l ->
+      let d = l.Mat.rows in
+      let z = Rng.gaussian_vector rng d in
+      (* Forward substitution against the lower-triangular factor:
+         x = L z, touching only the nonzero triangle. *)
+      let x = Array.make d 0.0 in
+      let data = l.Mat.data in
+      for i = 0 to d - 1 do
+        let off = i * d in
+        let acc = ref 0.0 in
+        for j = 0 to i do
+          acc := !acc +. (data.(off + j) *. z.(j))
+        done;
+        x.(i) <- !acc
+      done;
+      x
+  | Low_rank { factor; noise } ->
+      let d = factor.Mat.rows and r = factor.Mat.cols in
+      let zr = Rng.gaussian_vector rng r in
+      let zd = Rng.gaussian_vector rng d in
+      let x = Mat.mat_vec factor zr in
+      for i = 0 to d - 1 do
+        x.(i) <- x.(i) +. (sqrt noise.(i) *. zd.(i))
+      done;
+      x
+
+(* --- Ground truth --------------------------------------------------- *)
+
+type t = {
+  spec : spec;
+  terms : Term.t array;
+  support : int array;
+  lambda : float array;
+  coeffs : Mat.t;
+  r : Mat.t;
+  device : device_cov;
+}
+
+(* R(ρ)[i,j] = ρ^|i−j| — eq. 32's decay model (same parameterization as
+   [Cbmf_core.Prior.r_of_r0]; re-stated here because the generator sits
+   below the fitting layer). *)
+let r_of_rho ~k ~rho =
+  Mat.init k k (fun i j -> rho ** float_of_int (abs (i - j)))
+
+let terms_of_spec spec =
+  Array.init spec.m (fun j ->
+      if j = 0 then Term.Constant
+      else if j <= spec.d then Term.Linear (j - 1)
+      else Term.Square (j - spec.d - 1))
+
+let pick_support spec rng =
+  let a = spec.active_per_state in
+  let chosen = Hashtbl.create (2 * a) in
+  let out = Array.make a 0 in
+  let count = ref 0 in
+  while !count < a do
+    let j = 1 + Rng.int rng (spec.m - 1) in
+    if not (Hashtbl.mem chosen j) then begin
+      Hashtbl.add chosen j ();
+      out.(!count) <- j;
+      incr count
+    end
+  done;
+  Array.sort compare out;
+  out
+
+let truth ?(per_state_drop = 0.0) spec =
+  validate_spec_exn spec;
+  if
+    (not (Float.is_finite per_state_drop))
+    || per_state_drop < 0.0 || per_state_drop >= 1.0
+  then invalid_arg "Synthetic.truth: per_state_drop must be in [0, 1)";
+  let rng = stream spec ~salt:salt_truth 0 ~index:0 in
+  let terms = terms_of_spec spec in
+  let support = pick_support spec rng in
+  let a = spec.active_per_state in
+  (* Decaying template magnitudes: the first selected terms dominate,
+     the tail hovers above the noise — the regime where correlation
+     sharing pays. *)
+  let lambda = Array.init a (fun i -> (2.25 *. (0.8 ** float_of_int i)) +. 0.05) in
+  let r = r_of_rho ~k:spec.k ~rho:spec.rho in
+  let lr = Chol.factorize_with_retry r in
+  let coeffs = Mat.create spec.k spec.m in
+  let coeff_rng = stream spec ~salt:salt_truth 1 ~index:0 in
+  Array.iteri
+    (fun i col ->
+      let z = Rng.gaussian_vector coeff_rng spec.k in
+      let alpha = Chol.sample_transform lr z in
+      let amp = sqrt lambda.(i) in
+      for s = 0 to spec.k - 1 do
+        let drop =
+          per_state_drop > 0.0 && Rng.float coeff_rng < per_state_drop
+        in
+        if not drop then Mat.set coeffs s col (amp *. alpha.(s))
+      done)
+    support;
+  let device = device_cov_of_spec spec in
+  { spec; terms; support; lambda; coeffs; r; device }
+
+let mean_at t ~state x =
+  if state < 0 || state >= t.spec.k then
+    invalid_arg "Synthetic.mean_at: state out of range";
+  if Array.length x <> t.spec.d then
+    invalid_arg "Synthetic.mean_at: input length mismatch";
+  Array.fold_left
+    (fun acc col ->
+      acc +. (Term.eval t.terms.(col) x *. Mat.get t.coeffs state col))
+    0.0 t.support
+
+(* --- Dataset views -------------------------------------------------- *)
+
+type corruption = {
+  bad_state : int;
+  bad_row : int;
+  bad_col : int;
+  bad_value : float;
+}
+
+let gen_state t ~salt ~n s =
+  let m = t.spec.m in
+  let flat = Array.make (n * m) 0.0 in
+  let resp = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let rng = stream t.spec ~salt s ~index:i in
+    let x = draw_x t.device rng in
+    let off = i * m in
+    for j = 0 to m - 1 do
+      flat.(off + j) <- Term.eval t.terms.(j) x
+    done;
+    let mean =
+      Array.fold_left
+        (fun acc col -> acc +. (flat.(off + col) *. Mat.get t.coeffs s col))
+        0.0 t.support
+    in
+    resp.(i) <- mean +. (t.spec.noise_sigma *. Rng.gaussian rng)
+  done;
+  (Mat.unsafe_of_flat ~rows:n ~cols:m flat, resp)
+
+let dataset_with ~salt ?pool ?(corrupt = []) t ~n_per_state =
+  if n_per_state < 1 then
+    invalid_arg "Synthetic.dataset: n_per_state must be >= 1";
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let states = Pool.map pool ~n:t.spec.k (gen_state t ~salt ~n:n_per_state) in
+  let design = Array.map fst states in
+  let response = Array.map snd states in
+  List.iter
+    (fun c ->
+      if c.bad_state < 0 || c.bad_state >= t.spec.k then
+        invalid_arg "Synthetic.dataset: corruption state out of range";
+      if c.bad_row < 0 || c.bad_row >= n_per_state then
+        invalid_arg "Synthetic.dataset: corruption row out of range";
+      if c.bad_col < -1 || c.bad_col >= t.spec.m then
+        invalid_arg "Synthetic.dataset: corruption column out of range";
+      if c.bad_col = -1 then response.(c.bad_state).(c.bad_row) <- c.bad_value
+      else Mat.set design.(c.bad_state) c.bad_row c.bad_col c.bad_value)
+    corrupt;
+  Dataset.create ~design ~response
+
+let dataset ?pool ?corrupt t ~n_per_state =
+  dataset_with ~salt:salt_train ?pool ?corrupt t ~n_per_state
+
+let test_dataset ?pool t ~n_per_state =
+  dataset_with ~salt:salt_test ?pool t ~n_per_state
+
+(* --- Serving-engine stress inputs ----------------------------------- *)
+
+let batch_inputs t ~salt ~n =
+  if n < 1 then invalid_arg "Synthetic.batch_inputs: n must be >= 1";
+  let d = t.spec.d in
+  let flat = Array.make (n * d) 0.0 in
+  for i = 0 to n - 1 do
+    let rng = stream t.spec ~salt:(salt_batch + (salt * 16)) 0 ~index:i in
+    let x = draw_x t.device rng in
+    Array.blit x 0 flat (i * d) d
+  done;
+  let states = Array.init n (fun i -> i mod t.spec.k) in
+  (Mat.unsafe_of_flat ~rows:n ~cols:d flat, states)
+
+let posterior_cov_blocks t =
+  let a = t.spec.active_per_state in
+  let scale = Float.max t.spec.noise_sigma 1e-2 in
+  let density = Float.max t.spec.density 0.1 in
+  Array.init t.spec.k (fun s ->
+      let rng = stream t.spec ~salt:salt_cov (s + 1) ~index:0 in
+      let c = rand_cov ~rng ~dim:a ~density ~shape:4.0 in
+      Mat.scale (scale *. scale) c)

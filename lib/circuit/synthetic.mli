@@ -1,0 +1,147 @@
+(** Synthetic scalable C-BMF workloads with known sparse ground truth.
+
+    The physical testbenches pin the problem shape (K = 32 states,
+    d ≈ 1300 device variables) and, being deterministic simulators,
+    can never say whether a fitted model recovered "the" truth — there
+    is none to compare against.  This module manufactures workloads of
+    {e any} (K, M, d) from an eight-field seeded {!spec}:
+
+    - a sparse ground-truth coefficient template shared across states,
+      whose per-state magnitudes are drawn with controllable
+      cross-state correlation ρ — per active basis function m,
+      [α_m ~ N(0, λ_m·R(ρ))] with [R(ρ)[i,j] = ρ^|i−j|], exactly the
+      C-BMF prior (the Kronecker-style draw [α ~ N(0, λ·R ⊗ I)] over
+      the active block);
+    - a [rand_cov]-style SPD covariance factory with density/shape
+      knobs for correlated device-variable draws (dense Cholesky at
+      small d, a low-rank-plus-diagonal form that keeps draws O(d·r)
+      at d = 10⁵);
+    - {!Cbmf_model.Dataset.t} views that plug directly into
+      [Cbmf_core.Cbmf.fit] / [Init.run], and serving-side inputs
+      ({!batch_inputs}, {!posterior_cov_blocks}) that
+      [Cbmf_serve.Model.of_synthetic] assembles into engine-stress
+      snapshots — no MNA netlist anywhere.
+
+    Everything is deterministic from the spec: generation fans out
+    over a {!Cbmf_parallel.Pool} with one derived RNG stream per
+    (state, sample), so results are bit-identical at any domain count,
+    and datasets nest — the n-sample dataset is the first n samples of
+    the n′ > n one, like a stored simulation archive replayed at
+    different budgets. *)
+
+open Cbmf_linalg
+open Cbmf_parallel
+open Cbmf_model
+
+(** {1 Specs} *)
+
+type spec = {
+  k : int;  (** states K ≥ 1 *)
+  m : int;  (** dictionary size M (constant + linear + squares), 2 ≤ m ≤ 2d+1 *)
+  d : int;  (** device variables ≥ 1 *)
+  active_per_state : int;  (** true support size, in [1, m−1] *)
+  rho : float;  (** cross-state coefficient correlation, in [0, 1) *)
+  noise_sigma : float;  (** observation noise sd ≥ 0 *)
+  density : float;  (** device-covariance density knob, in [0, 1] *)
+  seed : int;
+}
+
+val default_spec : spec
+(** K = 8, M = 41, d = 40, 5 active, ρ = 0.9, σ = 0.05,
+    density = 0.2, seed = 1. *)
+
+val validate_spec : spec -> (unit, string) result
+
+val spec_to_string : spec -> string
+(** One-line canonical form; floats printed in hex so
+    {!spec_of_string} round-trips {e exactly} (bit-for-bit). *)
+
+val spec_of_string : string -> spec
+(** Inverse of {!spec_to_string}.  Raises [Invalid_argument] on
+    malformed input or an invalid spec. *)
+
+(** {1 SPD covariance factory} *)
+
+val rand_cov : rng:Cbmf_prob.Rng.t -> dim:int -> density:float -> shape:float -> Mat.t
+(** Random symmetric positive definite matrix with unit diagonal.
+    [density ∈ [0, 1]] controls the fraction of nonzero entries in the
+    random factor G (Σ ∝ GᵀG + shape·d̄·I before normalization), so
+    off-diagonal mass grows with it; [shape > 0] controls diagonal
+    dominance — larger is better conditioned.  [density = 0] is
+    exactly the identity.  Deterministic in [rng]. *)
+
+type device_cov =
+  | Diagonal of float array  (** per-variable variances *)
+  | Dense of Mat.t  (** lower Cholesky factor L of Σ (d×d) *)
+  | Low_rank of { factor : Mat.t; noise : float array }
+      (** Σ = F·Fᵀ + diag(noise) with F d×r — draws cost O(d·r), the
+          only form that scales to d = 10⁵ *)
+
+val device_cov_of_spec : spec -> device_cov
+(** [Diagonal] ones when [density = 0]; dense {!rand_cov} Cholesky for
+    d ≤ 512; [Low_rank] (r = 16) above. *)
+
+val draw_x : device_cov -> Cbmf_prob.Rng.t -> Vec.t
+(** One correlated device-variable draw (length d). *)
+
+(** {1 Ground truth} *)
+
+type t = {
+  spec : spec;
+  terms : Cbmf_basis.Term.t array;
+      (** the m dictionary terms: constant, linear, then squares *)
+  support : int array;  (** true active columns, sorted, all ≥ 1 *)
+  lambda : float array;  (** per-support prior variances of the draw *)
+  coeffs : Mat.t;  (** K×M true α — zeros off support *)
+  r : Mat.t;  (** K×K R(ρ) the template magnitudes were drawn under *)
+  device : device_cov;
+}
+
+val truth : ?per_state_drop:float -> spec -> t
+(** Deterministic ground truth for a spec.  [per_state_drop ∈ [0, 1)]
+    (default 0) zeroes each (state, active term) coefficient with that
+    probability — models whose effective support {e differs per state},
+    the serving-engine stress case.  Raises [Invalid_argument] on an
+    invalid spec or drop. *)
+
+val mean_at : t -> state:int -> Vec.t -> float
+(** The noise-free true response [b(x)·α_state] for a raw device
+    vector x (length d) — the oracle every prediction path is checked
+    against. *)
+
+(** {1 Dataset views} *)
+
+type corruption = {
+  bad_state : int;
+  bad_row : int;
+  bad_col : int;  (** design column, or [-1] for the response *)
+  bad_value : float;  (** the planted value, e.g. [Float.nan] *)
+}
+
+val dataset :
+  ?pool:Pool.t -> ?corrupt:corruption list -> t -> n_per_state:int -> Dataset.t
+(** Training dataset: per state, [n_per_state] rows of basis values
+    over fresh correlated device draws, responses
+    [b(x)·α_state + σ·ε].  Fans per-state generation over [pool]
+    (default {!Pool.default}); one {!Cbmf_prob.Rng.derive}d stream per
+    (state, sample) makes the result bit-identical at any domain count,
+    and datasets of different [n_per_state] nest as prefixes.
+    [corrupt] plants the given values after generation (the
+    [Dataset.validate] test harness); out-of-range coordinates raise
+    [Invalid_argument]. *)
+
+val test_dataset : ?pool:Pool.t -> t -> n_per_state:int -> Dataset.t
+(** Held-out dataset from an independent stream (never overlaps
+    {!dataset} at any budget). *)
+
+(** {1 Serving-engine stress inputs} *)
+
+val batch_inputs : t -> salt:int -> n:int -> Mat.t * int array
+(** [n] raw device vectors (n×d) from an independent stream keyed by
+    [salt], with states assigned round-robin over all K — the input of
+    an [Engine.predict_batch] stress call. *)
+
+val posterior_cov_blocks : t -> Mat.t array
+(** K deterministic SPD a×a blocks (a = [active_per_state]), scaled to
+    the noise level — stand-ins for fitted posterior covariance so a
+    spec-driven serving snapshot is complete without running EM. *)

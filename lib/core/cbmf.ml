@@ -121,6 +121,11 @@ let fit ?(config = default_config) (d : Dataset.t) =
 
 let fitted_view model = Lazy.force model.view
 
+let active_raw (f : fitted) =
+  let raw = Array.map (fun j -> f.std.Standardize.kept.(j)) f.active in
+  Array.sort compare raw;
+  raw
+
 let predict_state model ~design ~state =
   Mat.mat_vec design (Mat.row model.coeffs state)
 

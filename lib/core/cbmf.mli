@@ -87,6 +87,11 @@ val fit : ?config:config -> Dataset.t -> model
 val fitted_view : model -> fitted
 (** Force and return {!model.view}. *)
 
+val active_raw : fitted -> int array
+(** The active support as {e raw} dictionary column indices (through
+    [std.kept]), sorted ascending — comparable against a synthetic
+    ground-truth support, which lives in raw column coordinates. *)
+
 val predict_state : model -> design:Mat.t -> state:int -> Vec.t
 (** ŷ_k = B_k α_k. *)
 

@@ -45,6 +45,38 @@ let max_abs_error ~predicted ~actual =
   done;
   !worst
 
+let support_precision_recall ~truth ~estimate =
+  let tbl = Hashtbl.create (2 * Array.length truth) in
+  Array.iter (fun j -> Hashtbl.replace tbl j ()) truth;
+  let tp = Array.fold_left
+      (fun acc j -> if Hashtbl.mem tbl j then acc + 1 else acc)
+      0 estimate
+  in
+  let precision =
+    if Array.length estimate = 0 then 0.0
+    else float_of_int tp /. float_of_int (Array.length estimate)
+  in
+  let recall =
+    if Array.length truth = 0 then 0.0
+    else float_of_int tp /. float_of_int (Array.length truth)
+  in
+  (precision, recall)
+
+let support_f1 ~truth ~estimate =
+  let p, r = support_precision_recall ~truth ~estimate in
+  if p +. r <= 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+
+let coeffs_rmse ~truth ~estimate =
+  if truth.Mat.rows <> estimate.Mat.rows || truth.Mat.cols <> estimate.Mat.cols
+  then invalid_arg "Metrics.coeffs_rmse: shape mismatch";
+  let n = Array.length truth.Mat.data in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = estimate.Mat.data.(i) -. truth.Mat.data.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. float_of_int n)
+
 let predict_state ~coeffs (d : Dataset.t) k =
   assert (coeffs.Mat.rows = d.Dataset.n_states);
   assert (coeffs.Mat.cols = d.Dataset.n_basis);

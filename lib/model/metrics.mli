@@ -23,6 +23,22 @@ val r_squared : predicted:Vec.t -> actual:Vec.t -> float
 
 val max_abs_error : predicted:Vec.t -> actual:Vec.t -> float
 
+(** {1 Support recovery (synthetic ground truth)} *)
+
+val support_precision_recall :
+  truth:int array -> estimate:int array -> float * float
+(** [(precision, recall)] of an estimated support (set of column
+    indices) against the true one.  Duplicate-free inputs assumed;
+    an empty side scores 0 on its ratio. *)
+
+val support_f1 : truth:int array -> estimate:int array -> float
+(** Harmonic mean of precision and recall; 0 when both are empty. *)
+
+val coeffs_rmse : truth:Mat.t -> estimate:Mat.t -> float
+(** Entry-wise root-mean-square error between two coefficient matrices
+    of identical shape — the recovery-accuracy metric a physical
+    testbench can never provide. *)
+
 (** {1 Multi-state model evaluation} *)
 
 val coeffs_error_pooled :

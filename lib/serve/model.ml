@@ -45,6 +45,26 @@ let of_fit ~dict (f : Cbmf_core.Cbmf.fitted) =
     cov = Array.map Mat.copy f.Cbmf_core.Cbmf.cov;
   }
 
+let of_synthetic (gt : Cbmf_circuit.Synthetic.t) =
+  let open Cbmf_circuit.Synthetic in
+  let spec = gt.spec in
+  let a = Array.length gt.support in
+  let k = spec.k in
+  {
+    input_dim = spec.d;
+    n_states = k;
+    terms = Array.map (fun col -> gt.terms.(col)) gt.support;
+    col_means = Mat.create k a;
+    col_scales = Array.make a 1.0;
+    y_means = Array.make k 0.0;
+    y_scale = 1.0;
+    mu = Mat.init a k (fun j s -> Mat.get gt.coeffs s gt.support.(j));
+    lambda = Array.copy gt.lambda;
+    r = Mat.copy gt.r;
+    sigma0 = spec.noise_sigma;
+    cov = posterior_cov_blocks gt;
+  }
+
 let validate t =
   let a = Array.length t.terms and k = t.n_states in
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in

@@ -37,6 +37,17 @@ val of_fit : dict:Dictionary.t -> Cbmf_core.Cbmf.fitted -> t
     the active set.  Raises [Invalid_argument] if the dictionary does
     not match the fit (wrong size). *)
 
+val of_synthetic : Cbmf_circuit.Synthetic.t -> t
+(** A spec-driven serving model straight from synthetic ground truth —
+    no EM run required.  Standardization is the identity (zero
+    centerings, unit scales), [mu] holds the {e true} coefficients
+    restricted to the support (so the predictive mean at any point is
+    exactly [Synthetic.mean_at], making the engine path oracle-
+    checkable at any (K, a, d)), and the covariance blocks come from
+    {!Cbmf_circuit.Synthetic.posterior_cov_blocks}.  This is how the
+    scaling benches and the >64-state engine stress suites reach
+    shapes the physical testbenches cannot. *)
+
 val n_active : t -> int
 
 val validate : t -> (unit, string) result

@@ -1,6 +1,11 @@
-(* Shared test utilities. *)
+(* Shared test utilities.
 
-open Cbmf_linalg
+   The seeded corpus (deterministic random inputs) and the FNV-1a
+   bit-pattern hashes live in [Cbmf_testkit.Seeded] so the smoke
+   executables and the bench harness share one implementation; this
+   module re-exports them alongside the Alcotest wrappers. *)
+
+module Seeded = Cbmf_testkit.Seeded
 
 let check_float ?(tol = 1e-9) name expected actual =
   Alcotest.(check (float tol)) name expected actual
@@ -22,48 +27,34 @@ let qcase ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count ~name gen prop)
 
-(* Deterministic random matrices/vectors for tests. *)
-let rng = Cbmf_prob.Rng.create 20260704
+(* Deterministic random matrices/vectors for tests (one shared stream,
+   same historical seed, so existing suites keep their exact inputs). *)
+let rng = Seeded.default_rng ()
 
-let random_vec n = Cbmf_prob.Rng.gaussian_vector rng n
+let random_vec n = Seeded.random_vec rng n
 
-let random_mat r c = Mat.init r c (fun _ _ -> Cbmf_prob.Rng.gaussian rng)
+let random_mat r c = Seeded.random_mat rng r c
 
-let random_spd n =
-  (* aᵀa + n·I is comfortably positive definite. *)
-  let a = random_mat n n in
-  let g = Mat.gram a in
-  Mat.add_diag_inplace g (float_of_int n *. 0.5);
-  Mat.symmetrize_inplace g;
-  g
+let random_spd n = Seeded.random_spd rng n
 
 (* FNV-1a over IEEE-754 bit patterns: any single-ulp difference changes
    the hash, so these make exact determinism goldens. *)
-let hash_floats_acc acc (xs : float array) =
-  Array.fold_left
-    (fun acc x ->
-      Int64.mul (Int64.logxor acc (Int64.bits_of_float x)) 0x100000001B3L)
-    acc xs
+let hash_floats_acc = Seeded.hash_floats_acc
 
-let hash_floats xs = hash_floats_acc 0xCBF29CE484222325L xs
+let hash_floats = Seeded.hash_floats
 
-let hash_mats (ms : Mat.t array) =
-  Array.fold_left
-    (fun acc (m : Mat.t) -> hash_floats_acc acc m.Mat.data)
-    0xCBF29CE484222325L ms
+let hash_mats = Seeded.hash_mats
 
-(* Pinned golden: FNV-1a hash of all xs then ys matrices of
-   [Montecarlo.generate] on the LNA testbench, seed 42, n_per_state 3.
-   Guards the per-sample RNG-splitting contract — the stream must stay
-   bit-identical at any CBMF_DOMAINS and across refactors. *)
-let montecarlo_lna_seed42_n3_hash = -1015624154674765274L
+let montecarlo_lna_seed42_n3_hash = Seeded.montecarlo_lna_seed42_n3_hash
 
 let mat_close ?(tol = 1e-8) name a b =
+  let open Cbmf_linalg in
   if not (Mat.approx_equal ~tol a b) then
     Alcotest.failf "%s: matrices differ (max delta %g)" name
       (Mat.max_abs (Mat.sub a b))
 
 let vec_close ?(tol = 1e-8) name a b =
+  let open Cbmf_linalg in
   if not (Vec.approx_equal ~tol a b) then
     Alcotest.failf "%s: vectors differ (max delta %g)" name
       (Vec.norm_inf (Vec.sub a b))

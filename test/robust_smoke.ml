@@ -21,11 +21,7 @@ let check name ok =
     Printf.eprintf "robust-smoke FAIL: %s\n%!" name
   end
 
-let fnv acc (xs : float array) =
-  Array.fold_left
-    (fun acc x ->
-      Int64.mul (Int64.logxor acc (Int64.bits_of_float x)) 0x100000001B3L)
-    acc xs
+let fnv = Cbmf_testkit.Seeded.hash_floats_acc
 
 let finite (xs : float array) = Array.for_all Float.is_finite xs
 
@@ -61,7 +57,7 @@ let pipeline () =
       (fun acc (s : Cbmf_circuit.Montecarlo.per_state) ->
         fnv (fnv acc s.Cbmf_circuit.Montecarlo.xs.Mat.data)
           s.Cbmf_circuit.Montecarlo.ys.Mat.data)
-      0xCBF29CE484222325L mc.Cbmf_circuit.Montecarlo.states
+      Cbmf_testkit.Seeded.fnv_offset mc.Cbmf_circuit.Montecarlo.states
   in
   Array.iter
     (fun (s : Cbmf_circuit.Montecarlo.per_state) ->
@@ -82,7 +78,7 @@ let pipeline () =
   check "sigma0 finite" (Float.is_finite prior.Prior.sigma0);
   check "nlml finite" (Float.is_finite post.Posterior.nlml);
   let em_hash =
-    fnv (fnv 0xCBF29CE484222325L prior.Prior.lambda) prior.Prior.r.Mat.data
+    fnv (fnv Cbmf_testkit.Seeded.fnv_offset prior.Prior.lambda) prior.Prior.r.Mat.data
   in
   let report =
     (Diag.summary mc_diag, Diag.summary trace.Em.diag, trace.Em.recoveries)

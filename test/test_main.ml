@@ -19,6 +19,9 @@ let () =
          Test_parallel.suite;
          Test_robust.suite;
          Test_serve.suite;
+         Test_synthetic.suite;
+         Test_recovery.suite;
+         Test_engine_stress.suite;
          Test_posterior_oracle.suite;
          Test_frontend_oracle.suite;
          Test_integration.suite ])

@@ -1,0 +1,365 @@
+(* The synthetic workload generator: spec validation, the SPD
+   covariance factory, ground-truth determinism, dataset views
+   (pool-invariance, prefix nesting, corruption knobs feeding
+   Dataset.validate), and the serving-side inputs. *)
+
+open Helpers
+open Cbmf_linalg
+open Cbmf_model
+module Synthetic = Cbmf_circuit.Synthetic
+module Pool = Cbmf_parallel.Pool
+module Rng = Cbmf_prob.Rng
+
+let spec = Synthetic.default_spec
+
+(* A tiny spec for the cheap structural cases. *)
+let small =
+  { spec with Synthetic.k = 4; m = 13; d = 6; active_per_state = 3; seed = 7 }
+
+let hash_dataset (d : Dataset.t) =
+  let acc = ref Seeded.fnv_offset in
+  for s = 0 to d.Dataset.n_states - 1 do
+    acc := Seeded.hash_floats_acc !acc d.Dataset.design.(s).Mat.data;
+    acc := Seeded.hash_floats_acc !acc d.Dataset.response.(s)
+  done;
+  !acc
+
+let test_validate_spec () =
+  check_true "default ok" (Result.is_ok (Synthetic.validate_spec spec));
+  let bad s = check_true "rejected" (Result.is_error (Synthetic.validate_spec s)) in
+  bad { spec with Synthetic.k = 0 };
+  bad { spec with Synthetic.d = 0 };
+  bad { spec with Synthetic.m = 1 };
+  bad { spec with Synthetic.m = (2 * spec.Synthetic.d) + 2 };
+  bad { spec with Synthetic.active_per_state = 0 };
+  bad { spec with Synthetic.active_per_state = spec.Synthetic.m };
+  bad { spec with Synthetic.rho = 1.0 };
+  bad { spec with Synthetic.rho = -0.1 };
+  bad { spec with Synthetic.noise_sigma = -1.0 };
+  bad { spec with Synthetic.density = 1.5 };
+  check_raises_invalid "truth rejects invalid spec" (fun () ->
+      Synthetic.truth { spec with Synthetic.k = 0 })
+
+let test_spec_round_trip () =
+  (* Hex floats make the round-trip exact even for 0.1-like values. *)
+  let awkward =
+    { spec with Synthetic.rho = 0.1 +. 0.2; noise_sigma = 1.0 /. 3.0 }
+  in
+  List.iter
+    (fun s ->
+      let s' = Synthetic.spec_of_string (Synthetic.spec_to_string s) in
+      check_true "round-trip exact" (s' = s))
+    [ spec; small; awkward ];
+  check_raises_invalid "malformed rejected" (fun () ->
+      Synthetic.spec_of_string "k=banana");
+  check_raises_invalid "invalid spec rejected" (fun () ->
+      Synthetic.spec_of_string
+        (Synthetic.spec_to_string { spec with Synthetic.k = 0 }))
+
+let test_rand_cov () =
+  let rng = Rng.create 99 in
+  let c = Synthetic.rand_cov ~rng ~dim:12 ~density:0.3 ~shape:2.0 in
+  check_true "symmetric" (Mat.is_symmetric ~tol:1e-12 c);
+  for i = 0 to 11 do
+    check_float ~tol:1e-12 "unit diagonal" 1.0 (Mat.get c i i)
+  done;
+  check_true "positive definite" (Chol.is_positive_definite c);
+  (* Density moves off-diagonal mass. *)
+  let off m =
+    let acc = ref 0.0 in
+    let n = m.Mat.rows in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then acc := !acc +. Float.abs (Mat.get m i j)
+      done
+    done;
+    !acc
+  in
+  let dense =
+    Synthetic.rand_cov ~rng:(Rng.create 5) ~dim:12 ~density:0.9 ~shape:0.5
+  in
+  check_true "denser factor, more correlation" (off dense > off c);
+  let id = Synthetic.rand_cov ~rng:(Rng.create 5) ~dim:7 ~density:0.0 ~shape:1.0 in
+  mat_close ~tol:0.0 "density 0 is identity" (Mat.identity 7) id;
+  let c1 = Synthetic.rand_cov ~rng:(Rng.create 42) ~dim:9 ~density:0.4 ~shape:1.0 in
+  let c2 = Synthetic.rand_cov ~rng:(Rng.create 42) ~dim:9 ~density:0.4 ~shape:1.0 in
+  check_true "deterministic in rng"
+    (Int64.equal (hash_floats c1.Mat.data) (hash_floats c2.Mat.data));
+  check_raises_invalid "bad density" (fun () ->
+      Synthetic.rand_cov ~rng ~dim:3 ~density:1.5 ~shape:1.0);
+  check_raises_invalid "bad shape" (fun () ->
+      Synthetic.rand_cov ~rng ~dim:3 ~density:0.5 ~shape:0.0)
+
+let test_device_cov () =
+  (match Synthetic.device_cov_of_spec small with
+  | Synthetic.Dense l ->
+      check_int "dense factor rows" small.Synthetic.d l.Mat.rows
+  | _ -> Alcotest.fail "expected Dense at small d");
+  (match
+     Synthetic.device_cov_of_spec { small with Synthetic.density = 0.0 }
+   with
+  | Synthetic.Diagonal v -> check_int "diagonal length" small.Synthetic.d (Array.length v)
+  | _ -> Alcotest.fail "expected Diagonal at density 0");
+  let big = { spec with Synthetic.d = 2000; m = 101 } in
+  (match Synthetic.device_cov_of_spec big with
+  | Synthetic.Low_rank { factor; noise } ->
+      check_int "low-rank rows" 2000 factor.Mat.rows;
+      check_true "low-rank narrow" (factor.Mat.cols < 64);
+      check_int "noise length" 2000 (Array.length noise)
+  | _ -> Alcotest.fail "expected Low_rank at large d");
+  List.iter
+    (fun s ->
+      let dev = Synthetic.device_cov_of_spec s in
+      let x = Synthetic.draw_x dev (Rng.create 3) in
+      check_int "draw length" s.Synthetic.d (Array.length x);
+      check_true "draw finite" (Array.for_all Float.is_finite x);
+      let y = Synthetic.draw_x dev (Rng.create 3) in
+      check_true "draw deterministic"
+        (Int64.equal (hash_floats x) (hash_floats y)))
+    [ small; { small with Synthetic.density = 0.0 };
+      { spec with Synthetic.d = 600; m = 61 } ]
+
+let test_truth_structure () =
+  let t = Synthetic.truth small in
+  let a = small.Synthetic.active_per_state in
+  check_int "terms" small.Synthetic.m (Array.length t.Synthetic.terms);
+  check_int "support size" a (Array.length t.Synthetic.support);
+  let sorted = Array.copy t.Synthetic.support in
+  Array.sort compare sorted;
+  check_true "support sorted" (sorted = t.Synthetic.support);
+  check_true "support excludes constant"
+    (Array.for_all (fun j -> j >= 1 && j < small.Synthetic.m) t.Synthetic.support);
+  check_true "support distinct"
+    (Array.length (Array.of_seq (Hashtbl.to_seq_keys (
+         let h = Hashtbl.create 8 in
+         Array.iter (fun j -> Hashtbl.replace h j ()) t.Synthetic.support;
+         h))) = a);
+  (* Off-support coefficients are exactly zero; on-support nonzero. *)
+  let on = Hashtbl.create 8 in
+  Array.iter (fun j -> Hashtbl.replace on j ()) t.Synthetic.support;
+  for s = 0 to small.Synthetic.k - 1 do
+    for j = 0 to small.Synthetic.m - 1 do
+      let c = Mat.get t.Synthetic.coeffs s j in
+      if not (Hashtbl.mem on j) then
+        check_float ~tol:0.0 "zero off support" 0.0 c
+    done
+  done;
+  (* R is the eq.-32 decay matrix of the spec's rho. *)
+  for i = 0 to small.Synthetic.k - 1 do
+    for j = 0 to small.Synthetic.k - 1 do
+      check_float ~tol:1e-15 "R decay"
+        (small.Synthetic.rho ** float_of_int (abs (i - j)))
+        (Mat.get t.Synthetic.r i j)
+    done
+  done;
+  (* Deterministic: a second construction is bit-identical. *)
+  let t2 = Synthetic.truth small in
+  check_true "truth deterministic"
+    (Int64.equal
+       (hash_floats t.Synthetic.coeffs.Mat.data)
+       (hash_floats t2.Synthetic.coeffs.Mat.data)
+    && t.Synthetic.support = t2.Synthetic.support)
+
+let test_truth_correlation () =
+  (* With rho -> 0.95 adjacent states' active coefficients track each
+     other; with rho = 0 they are independent.  Compare the empirical
+     adjacent-state correlation of the planted coefficients over many
+     seeds — a direct check that the Kronecker-style draw really
+     responds to the knob. *)
+  let corr rho =
+    let num = ref 0.0 and den_a = ref 0.0 and den_b = ref 0.0 in
+    for seed = 1 to 40 do
+      let s =
+        { small with Synthetic.k = 6; rho; seed; noise_sigma = 0.0 }
+      in
+      let t = Synthetic.truth s in
+      Array.iter
+        (fun col ->
+          for st = 0 to 4 do
+            let a = Mat.get t.Synthetic.coeffs st col in
+            let b = Mat.get t.Synthetic.coeffs (st + 1) col in
+            num := !num +. (a *. b);
+            den_a := !den_a +. (a *. a);
+            den_b := !den_b +. (b *. b)
+          done)
+        t.Synthetic.support
+    done;
+    !num /. sqrt (!den_a *. !den_b)
+  in
+  let high = corr 0.95 and low = corr 0.0 in
+  check_true "rho=0.95 strongly correlated" (high > 0.8);
+  check_true "rho=0 near-uncorrelated" (Float.abs low < 0.25);
+  check_true "ordering" (high > low +. 0.5)
+
+let test_per_state_drop () =
+  let t =
+    Synthetic.truth ~per_state_drop:0.4
+      { small with Synthetic.k = 16; seed = 11 }
+  in
+  (* Effective per-state supports must differ: some (state, active col)
+     entries are zeroed, others are not. *)
+  let zeros = ref 0 and nonzeros = ref 0 in
+  Array.iter
+    (fun col ->
+      for s = 0 to 15 do
+        if Mat.get t.Synthetic.coeffs s col = 0.0 then incr zeros
+        else incr nonzeros
+      done)
+    t.Synthetic.support;
+  check_true "some dropped" (!zeros > 0);
+  check_true "some kept" (!nonzeros > 0);
+  check_raises_invalid "bad drop" (fun () ->
+      Synthetic.truth ~per_state_drop:1.0 small)
+
+let test_dataset_shapes_and_noise () =
+  let t = Synthetic.truth small in
+  let d = Synthetic.dataset t ~n_per_state:5 in
+  check_int "states" small.Synthetic.k d.Dataset.n_states;
+  check_int "samples" 5 d.Dataset.n_samples;
+  check_int "basis" small.Synthetic.m d.Dataset.n_basis;
+  (* Noise-free responses are exactly the oracle mean of the drawn x:
+     column 1..d of the design holds x itself (linear terms), so the
+     response can be recomputed through [mean_at]. *)
+  let t0 = Synthetic.truth { small with Synthetic.noise_sigma = 0.0 } in
+  let d0 = Synthetic.dataset t0 ~n_per_state:4 in
+  for s = 0 to small.Synthetic.k - 1 do
+    for i = 0 to 3 do
+      let x =
+        Array.init small.Synthetic.d (fun v ->
+            Mat.get d0.Dataset.design.(s) i (v + 1))
+      in
+      check_true "sigma=0 response is the oracle mean"
+        (Int64.equal
+           (Int64.bits_of_float (Synthetic.mean_at t0 ~state:s x))
+           (Int64.bits_of_float d0.Dataset.response.(s).(i)))
+    done
+  done
+
+let test_dataset_pool_invariance () =
+  let t = Synthetic.truth small in
+  let h_at size =
+    let p = Pool.create size in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () -> hash_dataset (Synthetic.dataset ~pool:p t ~n_per_state:6))
+  in
+  let h1 = h_at 1 and h2 = h_at 2 and h4 = h_at 4 in
+  check_true "1 = 2 domains" (Int64.equal h1 h2);
+  check_true "1 = 4 domains" (Int64.equal h1 h4)
+
+let test_dataset_prefix_nesting () =
+  let t = Synthetic.truth small in
+  let big = Synthetic.dataset t ~n_per_state:8 in
+  let small_d = Synthetic.dataset t ~n_per_state:3 in
+  let truncated = Dataset.truncate_samples big ~n:3 in
+  check_true "n=3 is the prefix of n=8"
+    (Int64.equal (hash_dataset small_d) (hash_dataset truncated));
+  let test_d = Synthetic.test_dataset t ~n_per_state:3 in
+  check_true "test stream independent of train"
+    (not (Int64.equal (hash_dataset small_d) (hash_dataset test_d)))
+
+let test_dataset_golden () =
+  (* Pin the generator's exact output: any change to stream derivation,
+     draw order or term evaluation shows up here as a hash mismatch. *)
+  let t = Synthetic.truth small in
+  let d = Synthetic.dataset t ~n_per_state:4 in
+  let h = hash_dataset d in
+  if not (Int64.equal h 0xfd51658a0a931efbL) then
+    Alcotest.failf "golden hash drifted: got 0x%LxL" h
+
+let test_corruption_validate () =
+  let t = Synthetic.truth small in
+  let corrupt =
+    [ { Synthetic.bad_state = 0; bad_row = 1; bad_col = -1; bad_value = Float.nan };
+      { Synthetic.bad_state = 2; bad_row = 3; bad_col = 5;
+        bad_value = Float.infinity };
+      { Synthetic.bad_state = 2; bad_row = 0; bad_col = 7;
+        bad_value = Float.neg_infinity } ]
+  in
+  let d = Synthetic.dataset ~corrupt t ~n_per_state:5 in
+  (match Dataset.validate d with
+  | Ok () -> Alcotest.fail "corruption not detected"
+  | Error r ->
+      check_int "total rows" (small.Synthetic.k * 5) r.Dataset.n_rows;
+      check_int "three invalid rows" 3 (Array.length r.Dataset.invalid);
+      (* Row-granular, (state, row)-ordered, with the exact column (or
+         -1 for the response) pinpointed. *)
+      let expect =
+        [| { Dataset.state = 0; row = 1; col = -1 };
+           { Dataset.state = 2; row = 0; col = 7 };
+           { Dataset.state = 2; row = 3; col = 5 } |]
+      in
+      check_true "report pinpoints the planted entries" (r.Dataset.invalid = expect));
+  (* The clean dataset from the same truth still validates. *)
+  check_true "clean dataset validates"
+    (Result.is_ok (Dataset.validate (Synthetic.dataset t ~n_per_state:5)));
+  check_raises_invalid "out-of-range corruption state" (fun () ->
+      Synthetic.dataset
+        ~corrupt:[ { Synthetic.bad_state = 99; bad_row = 0; bad_col = 0;
+                     bad_value = Float.nan } ]
+        t ~n_per_state:2);
+  check_raises_invalid "out-of-range corruption column" (fun () ->
+      Synthetic.dataset
+        ~corrupt:[ { Synthetic.bad_state = 0; bad_row = 0; bad_col = -2;
+                     bad_value = Float.nan } ]
+        t ~n_per_state:2)
+
+let test_fit_plumbing () =
+  (* The dataset view plugs into the real front end: Init.run selects a
+     support on a synthetic workload and Cbmf.fit returns a model whose
+     held-out error beats the trivial zero predictor by a wide margin. *)
+  let s =
+    { small with Synthetic.k = 4; m = 11; d = 5; active_per_state = 2;
+      noise_sigma = 0.02; seed = 3 }
+  in
+  let t = Synthetic.truth s in
+  let train = Synthetic.dataset t ~n_per_state:12 in
+  let model =
+    Cbmf_core.Cbmf.fit ~config:(Cbmf_experiments.Recovery.cbmf_config s) train
+  in
+  let err = Cbmf_core.Cbmf.test_error model (Synthetic.test_dataset t ~n_per_state:20) in
+  check_true "held-out error small" (err < 0.3)
+
+let test_batch_inputs () =
+  let t = Synthetic.truth small in
+  let xs, states = Synthetic.batch_inputs t ~salt:0 ~n:10 in
+  check_int "rows" 10 xs.Mat.rows;
+  check_int "cols" small.Synthetic.d xs.Mat.cols;
+  check_int "states length" 10 (Array.length states);
+  Array.iteri
+    (fun i st -> check_int "round-robin" (i mod small.Synthetic.k) st)
+    states;
+  let xs2, _ = Synthetic.batch_inputs t ~salt:0 ~n:10 in
+  check_true "deterministic"
+    (Int64.equal (hash_floats xs.Mat.data) (hash_floats xs2.Mat.data));
+  let xs3, _ = Synthetic.batch_inputs t ~salt:1 ~n:10 in
+  check_true "salts independent"
+    (not (Int64.equal (hash_floats xs.Mat.data) (hash_floats xs3.Mat.data)))
+
+let test_posterior_cov_blocks () =
+  let t = Synthetic.truth small in
+  let blocks = Synthetic.posterior_cov_blocks t in
+  check_int "K blocks" small.Synthetic.k (Array.length blocks);
+  Array.iter
+    (fun b ->
+      check_int "a rows" small.Synthetic.active_per_state b.Mat.rows;
+      check_true "SPD" (Chol.is_positive_definite b))
+    blocks
+
+let suite =
+  [ ( "synthetic",
+      [ case "validate_spec" test_validate_spec;
+        case "spec_round_trip" test_spec_round_trip;
+        case "rand_cov" test_rand_cov;
+        case "device_cov" test_device_cov;
+        case "truth_structure" test_truth_structure;
+        case "truth_correlation" test_truth_correlation;
+        case "per_state_drop" test_per_state_drop;
+        case "dataset_shapes_and_noise" test_dataset_shapes_and_noise;
+        case "dataset_pool_invariance" test_dataset_pool_invariance;
+        case "dataset_prefix_nesting" test_dataset_prefix_nesting;
+        case "dataset_golden" test_dataset_golden;
+        case "corruption_validate" test_corruption_validate;
+        case "fit_plumbing" test_fit_plumbing;
+        case "batch_inputs" test_batch_inputs;
+        case "posterior_cov_blocks" test_posterior_cov_blocks ] ) ]
