@@ -27,6 +27,16 @@ type result = {
   prior : Prior.t;
 }
 
+(* Per-slot scratch shared by every grid cell a worker processes: the
+   NK-sized update vector and flat response are grabbed once per pass
+   and reused across cells (NK is fold-invariant, so after the first
+   cell per slot these cost nothing). *)
+let cell_arena = Cbmf_parallel.Arena.create ()
+
+let id_rank1_u = Cbmf_parallel.Arena.fresh_id ()
+
+let id_flat_y = Cbmf_parallel.Arena.fresh_id ()
+
 (* One incremental greedy pass.  G starts at σ0²·I and grows by the
    rank-K contribution E_s·R·E_sᵀ = Σ_j (E_s·L_R·e_j)(…)ᵀ of each
    selected basis s (λ = 1), maintained as rank-1 Cholesky updates.
@@ -42,7 +52,7 @@ let greedy_pass_pre ~r_chol:(r, l_r) ~(train : Dataset.t) ~test ~sigma0
   let theta_max = Stdlib.min theta_max (Stdlib.min (nk - 1) m) in
   assert (theta_max >= 1);
   let chol_g = Chol.of_scaled_identity nk (sigma0 *. sigma0) in
-  let y = Array.make nk 0.0 in
+  let y = Cbmf_parallel.Arena.grab cell_arena id_flat_y nk in
   for s = 0 to k - 1 do
     Array.blit train.Dataset.response.(s) 0 y (s * n) n
   done;
@@ -51,6 +61,11 @@ let greedy_pass_pre ~r_chol:(r, l_r) ~(train : Dataset.t) ~test ~sigma0
   let support = ref [] in
   let errors = ref [] in
   let steps = ref 0 in
+  (* Hoisted out of the per-step per-j loop below: the old code built a
+     fresh NK vector for every (step, j) — nk·k·θ allocations per
+     pass.  A zero-fill of the shared buffer produces the same values
+     bit-for-bit. *)
+  let u = Cbmf_parallel.Arena.grab cell_arena id_rank1_u nk in
   (try
      for _ = 1 to theta_max do
        let s = Somp.select_next train ~residual ~exclude in
@@ -59,7 +74,7 @@ let greedy_pass_pre ~r_chol:(r, l_r) ~(train : Dataset.t) ~test ~sigma0
        incr steps;
        (* Rank-K update of the G factor for basis s. *)
        for j = 0 to k - 1 do
-         let u = Array.make nk 0.0 in
+         Array.fill u 0 nk 0.0;
          for st = 0 to k - 1 do
            let lrj = Mat.get l_r st j in
            if lrj <> 0.0 then begin
@@ -93,12 +108,16 @@ let greedy_pass_pre ~r_chol:(r, l_r) ~(train : Dataset.t) ~test ~sigma0
            done;
            Mat.set_row mu j (Mat.mat_vec r v))
          sup;
-       (* Residuals (eq. 34). *)
+       (* Residuals (eq. 34), rebuilt from the original response in
+          place: each entry is fully overwritten and the old per-step
+          copies are gone (the initial [Vec.copy] above made
+          [residual] private to this pass). *)
        for st = 0 to k - 1 do
          let b = train.Dataset.design.(st) in
          let bd = b.Mat.data and bc = b.Mat.cols in
          let md = mu.Mat.data in
-         let res = Vec.copy train.Dataset.response.(st) in
+         let resp = train.Dataset.response.(st) in
+         let res = residual.(st) in
          for i = 0 to n - 1 do
            let row = i * bc in
            let pred = ref 0.0 in
@@ -108,9 +127,8 @@ let greedy_pass_pre ~r_chol:(r, l_r) ~(train : Dataset.t) ~test ~sigma0
                +. (Array.unsafe_get bd (row + Array.unsafe_get sup j)
                   *. Array.unsafe_get md ((j * k) + st))
            done;
-           res.(i) <- res.(i) -. !pred
-         done;
-         residual.(st) <- res
+           res.(i) <- Array.unsafe_get resp i -. !pred
+         done
        done;
        (* Score this θ on the held-out fold. *)
        match test with

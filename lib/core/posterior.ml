@@ -75,9 +75,29 @@ type workspace = {
   g_buf : float array ref;  (* NK·NK Gram assembly *)
   y_buf : float array ref;  (* NK flat response *)
   u_buf : float array ref;  (* NK·aK stacked design / TRSM solution *)
+  arena : Cbmf_parallel.Arena.t;
+      (* per-worker scratch for the state-pair fan-outs: each pool slot
+         reuses its own pair-product / accumulator / block buffers
+         across pairs, jobs and EM iterations *)
 }
 
-let make_workspace () = { g_buf = ref [||]; y_buf = ref [||]; u_buf = ref [||] }
+(* Scratch roles inside the pair fan-outs (names are global, buffers
+   live per-workspace per-slot). *)
+let id_pair_prod = Cbmf_parallel.Arena.fresh_id ()
+
+let id_pair_acc = Cbmf_parallel.Arena.fresh_id ()
+
+let id_pair_gblk = Cbmf_parallel.Arena.fresh_id ()
+
+let id_pair_z = Cbmf_parallel.Arena.fresh_id ()
+
+let make_workspace () =
+  {
+    g_buf = ref [||];
+    y_buf = ref [||];
+    u_buf = ref [||];
+    arena = Cbmf_parallel.Arena.create ();
+  }
 
 (* Exact-size reuse: the NK-sized buffers keep their array across EM
    iterations (NK is fixed); the aK-sized ones reallocate only when
@@ -93,7 +113,7 @@ let grab buf len =
    fused into the kernel, so no scaled copies of the designs are
    formed. *)
 let assemble_g (d : Dataset.t) (prior : Prior.t) ~(b_act : Mat.t array)
-    ~(lambda_act : Vec.t) ~pairs ~(into : float array) =
+    ~(lambda_act : Vec.t) ~pairs ~arena ~(into : float array) =
   let k = d.Dataset.n_states and n = d.Dataset.n_samples in
   let nk = k * n in
   let g = into in
@@ -103,7 +123,14 @@ let assemble_g (d : Dataset.t) (prior : Prior.t) ~(b_act : Mat.t array)
       let k1, k2 = pairs.(pair_i) in
       let r12 = Mat.get prior.Prior.r k1 k2 in
       if r12 <> 0.0 then begin
-        let p = Mat.matmul_nt_weighted b_act.(k1) lambda_act b_act.(k2) in
+        (* The n×n pair product lands in this slot's reusable buffer
+           (N is fixed, so after the first pair per slot no allocation
+           happens at all). *)
+        let p =
+          Mat.unsafe_of_flat ~rows:n ~cols:n
+            (Cbmf_parallel.Arena.grab arena id_pair_prod (n * n))
+        in
+        Mat.matmul_nt_weighted_into b_act.(k1) lambda_act b_act.(k2) ~dst:p;
         for i = 0 to n - 1 do
           let gi = ((k1 * n) + i) * nk in
           let pi = i * n in
@@ -162,7 +189,8 @@ let compute_dual ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
   let nk = k * n in
   let pairs = upper_pairs k in
   let g =
-    assemble_g d prior ~b_act ~lambda_act ~pairs ~into:(grab ws.g_buf (nk * nk))
+    assemble_g d prior ~b_act ~lambda_act ~pairs ~arena:ws.arena
+      ~into:(grab ws.g_buf (nk * nk))
   in
   let chol = Chol.factorize_with_retry g in
   let y = flat_response d ~into:(grab ws.y_buf nk) in
@@ -234,7 +262,9 @@ let compute_dual ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
             (fun pair_i ->
               let k1, k2 = pairs.(pair_i) in
               if comp.(k1) = comp.(k2) then begin
-                let acc = Array.make a 0.0 in
+                let acc =
+                  Cbmf_parallel.Arena.grab_zeroed ws.arena id_pair_acc a
+                in
                 (* Column (s,j) of X is supported on rows ≥ s·N (the
                    TRSM starts at the stack's first nonzero row), so
                    the dot runs from row k2·N. *)
@@ -268,12 +298,20 @@ let compute_dual ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
               let k1, k2 = pairs.(pair_i) in
               if comp.(k1) = comp.(k2) then begin
                 let gblk =
-                  Mat.submatrix ginv ~row0:(k1 * n) ~col0:(k2 * n) ~rows:n
-                    ~cols:n
+                  Mat.unsafe_of_flat ~rows:n ~cols:n
+                    (Cbmf_parallel.Arena.grab ws.arena id_pair_gblk (n * n))
                 in
-                let z = Mat.matmul gblk b_act.(k2) in
+                Mat.submatrix_into ginv ~row0:(k1 * n) ~col0:(k2 * n)
+                  ~dst:gblk;
+                let z =
+                  Mat.unsafe_of_flat ~rows:n ~cols:a
+                    (Cbmf_parallel.Arena.grab ws.arena id_pair_z (n * a))
+                in
+                Mat.matmul_into gblk b_act.(k2) ~dst:z;
                 let b1 = b_act.(k1).Mat.data and zd = z.Mat.data in
-                let acc = Array.make a 0.0 in
+                let acc =
+                  Cbmf_parallel.Arena.grab_zeroed ws.arena id_pair_acc a
+                in
                 for i = 0 to n - 1 do
                   let row = i * a in
                   for j = 0 to a - 1 do

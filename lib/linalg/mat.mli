@@ -63,6 +63,10 @@ val diagonal : t -> Vec.t
 
 val submatrix : t -> row0:int -> col0:int -> rows:int -> cols:int -> t
 
+val submatrix_into : t -> row0:int -> col0:int -> dst:t -> unit
+(** Copy the [dim dst]-shaped block of [a] at [(row0, col0)] into
+    [dst], overwriting it — the allocation-free {!submatrix}. *)
+
 val select_cols : t -> int array -> t
 (** [select_cols a idx] is the matrix whose [j]-th column is column
     [idx.(j)] of [a]. *)
@@ -88,14 +92,37 @@ val add_scaled_inplace : t -> float -> t -> unit
 val add_diag_inplace : t -> float -> unit
 (** Add a constant to the main diagonal (ridge/jitter). *)
 
+(** {2 GEMM}
+
+    The blocked kernels fan output panels across the shared
+    {!Cbmf_parallel.Pool.default} pool when it has more than one
+    domain, the call is not already inside a pool task, and the
+    estimated work clears {!Cbmf_parallel.Tune.gemm_fanout}.  The
+    parallel paths share their per-element accumulation order, unroll
+    grouping and zero-skip expressions with the sequential kernels, so
+    results are bit-identical at any [CBMF_DOMAINS]; a 1-domain pool
+    pays nothing (no packing, no gate traffic).  The [_into] variants
+    write into a caller-owned destination (fully overwriting it) so
+    hot loops can reuse arena buffers instead of allocating. *)
+
 val matmul : t -> t -> t
-(** [matmul a b] is [a * b] (cache-blocked, k-unrolled kernel). *)
+(** [matmul a b] is [a * b] (cache-blocked, k-unrolled kernel; the
+    parallel path packs [b] into tile-contiguous panels once per
+    call). *)
+
+val matmul_into : t -> t -> dst:t -> unit
 
 val matmul_nt : t -> t -> t
-(** [matmul_nt a b] is [a * bᵀ] (2×2 register-blocked dot kernel). *)
+(** [matmul_nt a b] is [a * bᵀ] (2×2 register-blocked dot kernel;
+    parallel fan-out is over row pairs so the pairing alignment is
+    domain-count-invariant). *)
+
+val matmul_nt_into : t -> t -> dst:t -> unit
 
 val matmul_tn : t -> t -> t
-(** [matmul_tn a b] is [aᵀ * b] (2×-unrolled axpy kernel). *)
+(** [matmul_tn a b] is [aᵀ * b] (2×-unrolled axpy kernel; the parallel
+    path packs each task's column slab of [b] into per-worker arena
+    scratch). *)
 
 val matmul_naive : t -> t -> t
 (** Reference triple-loop [a * b]: oracle for the blocked kernels and
@@ -115,7 +142,10 @@ val matmul_nt_weighted : t -> Vec.t -> t -> t
 (** [matmul_nt_weighted a w b] is [a · diag(w) · bᵀ] with the weighting
     fused into the kernel (no scaled copy of [a] or [b] is formed).
     When [a] and [b] are physically the same matrix only the upper
-    triangle is computed and mirrored. *)
+    triangle is computed and mirrored.  The staged row lives in
+    per-worker arena scratch, so repeated calls allocate nothing. *)
+
+val matmul_nt_weighted_into : t -> Vec.t -> t -> dst:t -> unit
 
 val mat_vec : t -> Vec.t -> Vec.t
 (** [mat_vec a x] is [a x]. *)

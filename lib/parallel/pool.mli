@@ -12,16 +12,24 @@
       locations; under that contract the output is bit-identical to the
       sequential loop.
 
+    {b Scheduling.}  One job at a time: a single chunk closure plus an
+    atomic cursor over the chunk range.  Participating domains claim
+    chunks by fetch-and-add — no per-chunk closure allocation, no lock
+    contention, no per-chunk condvar traffic.  Workers park on a
+    mutex/condvar gate between jobs; the submitter bumps an epoch and
+    broadcasts once per job.  Chunk sizes default to {!Tune.chunk}
+    ([CBMF_CHUNK] override, auto-calibrated heuristic otherwise).
+
     Pool size comes from the [CBMF_DOMAINS] environment variable when
     set, otherwise [Domain.recommended_domain_count ()].  A pool of
     size 1 — and any call issued from inside a pool task (nested
     parallelism) — runs strictly sequentially on the calling domain,
-    with no queueing.
+    with no gate traffic.
 
-    Worker internals (the task queue, the in-task domain-local flag,
+    Worker internals (the job record, the in-task domain-local flag,
     the exception slots) are private to the implementation; exceptions
     raised by tasks are re-raised on the calling domain with their
-    original backtraces, lowest task index first. *)
+    original backtraces, lowest chunk index first. *)
 
 type t
 (** A pool of worker domains.  One job (one {!parallel_for}/{!map}
@@ -37,17 +45,33 @@ val size : t -> int
 val shutdown : t -> unit
 (** Stop the workers and join them.  Idempotent: a second (or
     concurrent) call returns immediately; the first caller owns the
-    join. *)
+    join.  Safe concurrently with an in-flight job: mid-job workers
+    finish their claimed chunks before exiting, and the pool remains
+    usable afterwards (the submitting domain drains every chunk
+    itself). *)
 
 val env_domains : unit -> int
 (** The pool size the environment requests: [CBMF_DOMAINS] when set to
     a positive integer, otherwise [Domain.recommended_domain_count ()],
-    clamped to [1, 64]. *)
+    clamped to [1, 64].  Alias for {!Tune.recommended_domains}. *)
+
+val slot : unit -> int
+(** Stable scratch-arena index for the current domain: [0] on the
+    submitting domain, [1 .. size-1] on workers (always
+    [< Tune.max_domains]).  Nested sequential-fallback calls run on the
+    same domain and see the same slot, so per-slot scratch is never
+    shared between two concurrently running domains. *)
+
+val in_parallel : unit -> bool
+(** True on a domain currently executing a pool task.  Parallel entry
+    points already fall back to sequential when nested; this lets
+    callers skip the setup work of a parallel path (operand packing,
+    arena grabs) before even submitting. *)
 
 val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
 (** [parallel_for pool ~n f] runs [f 0 … f (n-1)] across the pool in
-    contiguous chunks of size [chunk] (default: [n / (4·size)], at
-    least 1).  [f] must write only locations owned by its index. *)
+    contiguous chunks of size [chunk] (default: {!Tune.chunk}).  [f]
+    must write only locations owned by its index. *)
 
 val map : ?chunk:int -> t -> n:int -> (int -> 'a) -> 'a array
 (** [map pool ~n f] is [[| f 0; …; f (n-1) |]], computed in parallel. *)

@@ -2,10 +2,30 @@ open Cbmf_linalg
 open Cbmf_basis
 open Cbmf_parallel
 
-(* Fixed fan-out granularity.  MUST NOT depend on the pool size — chunk
+(* Fixed fan-out granularity, owned by [Tune.batch_chunk] ([CBMF_CHUNK]
+   override, 64 otherwise).  MUST NOT depend on the pool size — chunk
    boundaries being a pure function of the batch makes the output
-   bit-identical at any CBMF_DOMAINS. *)
-let chunk_size = 64
+   bit-identical at any CBMF_DOMAINS.  (Changing [CBMF_CHUNK] itself
+   may move points between buckets and hence low-order variance bits;
+   it is an environment constant, so any fixed setting is still
+   domain-count-invariant.) *)
+let chunk_size = Tune.batch_chunk ()
+
+(* Per-slot scratch for chunk processing: the standardized design
+   slab, its covariance product, the hoisted μ column and the staged
+   input row.  Used only under the pool (slots are then exclusive);
+   the direct single-chunk path allocates locally instead, because
+   concurrent systhread callers — the serving tier — share the calling
+   domain's slot. *)
+let chunk_arena = Arena.create ()
+
+let id_us = Arena.fresh_id ()
+
+let id_w = Arena.fresh_id ()
+
+let id_mu_s = Arena.fresh_id ()
+
+let id_x = Arena.fresh_id ()
 
 let predict_batch ?pool (m : Model.t) ~states ~(xs : Mat.t) =
   let n = xs.Mat.rows in
@@ -26,10 +46,11 @@ let predict_batch ?pool (m : Model.t) ~states ~(xs : Mat.t) =
     states;
   let a = Array.length m.Model.terms in
   let k = m.Model.n_states in
+  let d = m.Model.input_dim in
   let means = Array.make n 0.0 in
   let sds = Array.make n 0.0 in
   let noise = m.Model.sigma0 *. m.Model.sigma0 in
-  let process_chunk c =
+  let process_chunk ~grab c =
     let lo = c * chunk_size in
     let hi = min n (lo + chunk_size) in
     let cn = hi - lo in
@@ -41,6 +62,7 @@ let predict_batch ?pool (m : Model.t) ~states ~(xs : Mat.t) =
       buckets.(s) <- i :: buckets.(s)
     done;
     let mu = m.Model.mu in
+    let x = grab id_x d in
     for s = 0 to k - 1 do
       match buckets.(s) with
       | [] -> ()
@@ -48,11 +70,13 @@ let predict_batch ?pool (m : Model.t) ~states ~(xs : Mat.t) =
           let idxs = Array.of_list idxs in
           let g = Array.length idxs in
           (* Standardized active rows for the group — the same
-             expression Model.features evaluates, so the bits agree. *)
-          let us = Mat.create g a in
+             expression Model.features evaluates, so the bits agree.
+             The input row is staged into scratch instead of copied
+             fresh per point. *)
+          let us = Mat.unsafe_of_flat ~rows:g ~cols:a (grab id_us (g * a)) in
           let ud = us.Mat.data in
           for gi = 0 to g - 1 do
-            let x = Mat.row xs (lo + idxs.(gi)) in
+            Array.blit xs.Mat.data ((lo + idxs.(gi)) * d) x 0 d;
             let row = gi * a in
             for j = 0 to a - 1 do
               ud.(row + j) <-
@@ -63,9 +87,13 @@ let predict_batch ?pool (m : Model.t) ~states ~(xs : Mat.t) =
           (* cov.(s) is symmetric, so W = Us·covᵀ has row i equal to
              cov·u_i, each entry a sequential dot — bit-identical to
              Model.predict's mat_vec. *)
-          let w = Mat.matmul_nt us m.Model.cov.(s) in
+          let w = Mat.unsafe_of_flat ~rows:g ~cols:a (grab id_w (g * a)) in
+          Mat.matmul_nt_into us m.Model.cov.(s) ~dst:w;
           (* Hoist the strided μ column; same values as Mat.get mu j s. *)
-          let mu_s = Array.init a (fun j -> mu.Mat.data.((j * k) + s)) in
+          let mu_s = grab id_mu_s a in
+          for j = 0 to a - 1 do
+            mu_s.(j) <- mu.Mat.data.((j * k) + s)
+          done;
           let wd = w.Mat.data in
           for gi = 0 to g - 1 do
             let row = gi * a in
@@ -85,10 +113,14 @@ let predict_batch ?pool (m : Model.t) ~states ~(xs : Mat.t) =
     done
   in
   let nchunks = (n + chunk_size - 1) / chunk_size in
-  (if nchunks <= 1 then (if nchunks = 1 then process_chunk 0)
+  (if nchunks <= 1 then begin
+     if nchunks = 1 then
+       process_chunk ~grab:(fun _ len -> Array.make len 0.0) 0
+   end
    else
      let pool = match pool with Some p -> p | None -> Pool.default () in
-     Pool.parallel_for ~chunk:1 pool ~n:nchunks process_chunk);
+     Pool.parallel_for ~chunk:1 pool ~n:nchunks
+       (process_chunk ~grab:(Arena.grab chunk_arena)));
   (means, sds)
 
 let predict m ~state (x : Vec.t) =

@@ -134,6 +134,39 @@ let test_blocked_vs_naive () =
     [ (1, 1, 1); (2, 3, 2); (3, 5, 7); (5, 4, 1); (8, 8, 8); (9, 13, 11);
       (1, 9, 6); (17, 66, 5) ]
 
+(* The packed-parallel GEMM paths must be bit-identical to the
+   sequential blocked kernels at any domain count — the shapes are
+   sized to clear the fan-out thresholds under any Tune calibration
+   (> 16M flops), so the panel kernels really run — and must still
+   agree with the naive oracles. *)
+let test_gemm_domain_bit_identity () =
+  let module Pool = Cbmf_parallel.Pool in
+  let a = random_mat 257 200 and b = random_mat 200 211 in
+  let nt_b = random_mat 211 200 in
+  let tn_c = random_mat 257 211 in
+  let s = random_mat 301 277 in
+  let w = Array.init 200 (fun i -> 0.25 +. (0.125 *. float_of_int (i mod 8))) in
+  let run () =
+    [ Mat.matmul a b; Mat.matmul_nt a nt_b; Mat.matmul_tn a tn_c;
+      Mat.syrk_tn s; Mat.syrk_nt s; Mat.matmul_nt_weighted a w nt_b ]
+  in
+  Pool.set_default_size 1;
+  let seq = run () in
+  List.iter
+    (fun size ->
+      Pool.set_default_size size;
+      List.iteri
+        (fun i (p : Mat.t) ->
+          check_true
+            (Printf.sprintf "kernel %d bit-identical at %d domains" i size)
+            ((List.nth seq i).Mat.data = p.Mat.data))
+        (run ()))
+    [ 2; 4; 8 ];
+  Pool.set_default_size (Pool.env_domains ());
+  mat_close ~tol:1e-8 "matmul vs naive" (Mat.matmul_naive a b) (List.nth seq 0);
+  mat_close ~tol:1e-8 "matmul_nt vs naive" (Mat.matmul_nt_naive a nt_b)
+    (List.nth seq 1)
+
 let test_syrk () =
   let a = random_mat 7 4 in
   mat_close ~tol:1e-10 "syrk_tn = aᵀa" (Mat.matmul_tn a a) (Mat.syrk_tn a);
@@ -160,6 +193,8 @@ let suite =
         case "matmul associativity" test_matmul_assoc;
         case "matmul_nt/tn" test_matmul_variants;
         case "blocked kernels = naive" test_blocked_vs_naive;
+        case "GEMM bit-identical across domain counts"
+          test_gemm_domain_bit_identity;
         case "syrk" test_syrk;
         case "matmul_nt_weighted" test_matmul_nt_weighted;
         case "mat_vec/mat_tvec" test_mat_vec;

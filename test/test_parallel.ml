@@ -35,7 +35,30 @@ let prop_map_reduce_matches_fold (n, chunk, seed) =
               ~reduce:(fun acc x -> (acc *. 0.993) +. x)
           in
           Int64.equal (Int64.bits_of_float got) (Int64.bits_of_float expected)))
-    [ 1; 2; 4 ]
+    [ 1; 2; 4; 8 ]
+
+(* Adversarial chunkings: a single chunk spanning everything, one item
+   per chunk, and a ragged chunk that leaves a short tail — all must
+   reproduce the sequential fold bit-for-bit at every pool size. *)
+let prop_adversarial_chunks (n, _, seed) =
+  let rng = Cbmf_prob.Rng.create seed in
+  let xs = Array.init n (fun _ -> Cbmf_prob.Rng.gaussian rng) in
+  let expected = seq_fold xs in
+  List.for_all
+    (fun chunk ->
+      List.for_all
+        (fun size ->
+          with_pool size (fun pool ->
+              let got =
+                Pool.map_reduce ~chunk pool ~n
+                  ~map:(fun i -> xs.(i) *. xs.(i) *. 0.25)
+                  ~init:1.0
+                  ~reduce:(fun acc x -> (acc *. 0.993) +. x)
+              in
+              Int64.equal (Int64.bits_of_float got)
+                (Int64.bits_of_float expected)))
+        [ 1; 4 ])
+    [ 1; n; n + 7 ]
 
 let prop_parallel_for_covers (n, chunk, seed) =
   ignore seed;
@@ -109,6 +132,71 @@ let test_size_one_sequential () =
 let test_env_parsing () =
   check_true "env or recommended >= 1" (Pool.env_domains () >= 1)
 
+(* --- Shutdown race hardening ---------------------------------------- *)
+
+(* Shutdown landing while a job is in flight must neither wedge the
+   submitter nor lose chunks: workers only observe [stopped] at the
+   parking gate, so claimed chunks always complete, and the submitter
+   can drain the cursor alone.  The interleaving is timing-dependent —
+   every outcome (shutdown before, during, or after the job) must pass
+   the same assertions. *)
+let test_shutdown_during_job () =
+  let pool = Pool.create 4 in
+  let n = 4000 in
+  let hits = Array.make n 0 in
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.002;
+        Pool.shutdown pool)
+  in
+  Pool.parallel_for ~chunk:1 pool ~n (fun i ->
+      ignore (Sys.opaque_identity (sqrt (float_of_int (i + 1))));
+      hits.(i) <- hits.(i) + 1);
+  Domain.join killer;
+  check_true "every index ran exactly once"
+    (Array.for_all (fun h -> h = 1) hits);
+  (* A shut-down pool stays usable: the submitter drains everything. *)
+  let s = Pool.map_reduce pool ~n:10 ~map:Fun.id ~init:0 ~reduce:( + ) in
+  check_int "usable after shutdown" 45 s;
+  Pool.shutdown pool
+
+let test_double_and_concurrent_shutdown () =
+  let pool = Pool.create 4 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* Concurrent shutdowns: exactly one caller owns the join, the rest
+     return immediately; none may crash or deadlock. *)
+  let pool2 = Pool.create 4 in
+  let callers =
+    Array.init 3 (fun _ -> Domain.spawn (fun () -> Pool.shutdown pool2))
+  in
+  Array.iter Domain.join callers;
+  Pool.shutdown pool2;
+  List.iter
+    (fun p ->
+      check_int "post-shutdown sum" 45
+        (Pool.map_reduce p ~n:10 ~map:Fun.id ~init:0 ~reduce:( + )))
+    [ pool; pool2 ]
+
+(* The failure in the very last chunk — the one that wakes the
+   submitter — must still be re-raised, with the backtrace captured at
+   the raise site (not at the re-raise). *)
+let test_last_chunk_exception () =
+  Printexc.record_backtrace true;
+  List.iter
+    (fun size ->
+      with_pool size (fun pool ->
+          match
+            Pool.parallel_for ~chunk:3 pool ~n:64 (fun i ->
+                if i = 63 then raise (Boom i))
+          with
+          | () -> Alcotest.fail "expected Boom from last chunk"
+          | exception Boom i ->
+              check_int "last index" 63 i;
+              check_true "backtrace preserved"
+                (String.length (Printexc.get_backtrace ()) > 0)))
+    [ 1; 2; 4 ]
+
 (* --- Monte-Carlo determinism across domain counts ------------------ *)
 
 let montecarlo_hash () =
@@ -142,8 +230,10 @@ let test_montecarlo_domain_invariance () =
 
 let suite =
   [ ( "parallel.pool",
-      [ qcase ~count:60 "map_reduce = sequential fold (1/2/4 domains)"
+      [ qcase ~count:60 "map_reduce = sequential fold (1/2/4/8 domains)"
           gen_case prop_map_reduce_matches_fold;
+        qcase ~count:20 "adversarial chunkings (1, n, n+7) = sequential fold"
+          gen_case prop_adversarial_chunks;
         qcase ~count:40 "parallel_for covers each index once" gen_case
           prop_parallel_for_covers;
         case "map preserves index order" test_map_order;
@@ -154,6 +244,11 @@ let suite =
           test_nested_calls_fall_back;
         case "size-1 pool is strictly sequential" test_size_one_sequential;
         case "env override parsing" test_env_parsing ] );
+    ( "parallel.shutdown",
+      [ case "shutdown during in-flight job" test_shutdown_during_job;
+        case "double + concurrent shutdown" test_double_and_concurrent_shutdown;
+        case "last-chunk exception propagates with backtrace"
+          test_last_chunk_exception ] );
     ( "parallel.montecarlo",
       [ slow_case "bit-identical at CBMF_DOMAINS=1,2,4 (pinned)"
           test_montecarlo_domain_invariance ] ) ]

@@ -71,17 +71,26 @@ let prop_bit_identical_across_domains (k, n, m, seed) =
   let d, prior = build_case ~k ~n ~m ~seed in
   Pool.set_default_size 1;
   let p1 = compute_all d prior in
-  Pool.set_default_size 4;
-  let p4 = compute_all d prior in
+  let others =
+    List.map
+      (fun size ->
+        Pool.set_default_size size;
+        compute_all d prior)
+      [ 4; 8 ]
+  in
   Pool.set_default_size (Pool.env_domains ());
   let mats_equal (a : Mat.t) (b : Mat.t) = a.Mat.data = b.Mat.data in
-  mats_equal p1.Cbmf_core.Posterior.mu p4.Cbmf_core.Posterior.mu
-  && Int64.equal
-       (Int64.bits_of_float p1.Cbmf_core.Posterior.nlml)
-       (Int64.bits_of_float p4.Cbmf_core.Posterior.nlml)
-  && Array.for_all2
-       (fun (c1, b1) (c4, b4) -> c1 = c4 && mats_equal b1 b4)
-       p1.Cbmf_core.Posterior.sigma_blocks p4.Cbmf_core.Posterior.sigma_blocks
+  List.for_all
+    (fun p4 ->
+      mats_equal p1.Cbmf_core.Posterior.mu p4.Cbmf_core.Posterior.mu
+      && Int64.equal
+           (Int64.bits_of_float p1.Cbmf_core.Posterior.nlml)
+           (Int64.bits_of_float p4.Cbmf_core.Posterior.nlml)
+      && Array.for_all2
+           (fun (c1, b1) (c4, b4) -> c1 = c4 && mats_equal b1 b4)
+           p1.Cbmf_core.Posterior.sigma_blocks
+           p4.Cbmf_core.Posterior.sigma_blocks)
+    others
 
 (* Sparse active sets exercise the a < M corner of the pair loops. *)
 let prop_active_subset_matches (k, n, m, seed) =
@@ -208,7 +217,7 @@ let suite =
   [ ( "parallel.posterior-oracle",
       [ qcase ~count:40 "compute = naive_dense (mu, Sigma, NLML) @ 1e-8"
           gen_case prop_matches_dense_oracle;
-        qcase ~count:15 "bit-identical at 1 vs 4 domains" gen_case
+        qcase ~count:15 "bit-identical at 1 vs 4 vs 8 domains" gen_case
           prop_bit_identical_across_domains;
         qcase ~count:15 "sparse active set, 1 vs 4 domains" gen_case
           prop_active_subset_matches;
