@@ -677,6 +677,224 @@ let run_serve ~smoke =
     Format.fprintf fmt "  smoke OK: schema valid, batched = naive bitwise@."
   end
 
+(* --- Serving under load: open-loop generator ------------------------ *)
+
+(* Drives a live server (workers = 2, queue_cap = 4, shed-on-full
+   admission) with an open-loop load generator at 1x / 2x / 4x of the
+   calibrated single-connection service rate and writes
+   BENCH_serve_load.json: per level, offered load, accepted
+   throughput, client-observed p50/p99 latency of successful requests,
+   and the shed rate.  Open-loop means send times are scheduled from
+   the offered rate alone — a slow reply does not throttle the
+   generator, so overload actually lands on the admission queue
+   instead of being absorbed by closed-loop back-pressure.  [smoke]
+   shrinks the request budget, re-reads the JSON, and fails hard
+   unless the schema holds, the 4x level shed requests (overload must
+   surface as typed sheds, not latency collapse), and the p99 of the
+   requests the server did accept stayed bounded. *)
+let run_serve_load ~smoke =
+  section
+    (if smoke then "serve-load (smoke: schema + typed sheds at 4x)"
+     else "serve-load (open-loop 1x/2x/4x vs shed-on-full admission)");
+  let module S = Cbmf_serve in
+  let open Cbmf_linalg in
+  let rng = Cbmf_prob.Rng.create 29 in
+  let dim = 8 and k = 4 and a = 16 in
+  let model =
+    {
+      S.Model.input_dim = dim;
+      n_states = k;
+      terms =
+        Array.init a (fun j ->
+            if j = 0 then Cbmf_basis.Term.Constant
+            else if j <= dim then Cbmf_basis.Term.Linear ((j - 1) mod dim)
+            else Cbmf_basis.Term.Square ((j - 1) mod dim));
+      col_means = Mat.init k a (fun _ _ -> 0.1 *. Cbmf_prob.Rng.gaussian rng);
+      col_scales = Array.init a (fun j -> 1.0 +. (0.1 *. float_of_int (j mod 5)));
+      y_means = Array.init k (fun _ -> Cbmf_prob.Rng.gaussian rng);
+      y_scale = 2.0;
+      mu = Mat.init a k (fun _ _ -> Cbmf_prob.Rng.gaussian rng);
+      lambda = Array.make a 1.0;
+      r = Mat.init k k (fun i j -> if i = j then 1.0 else 0.5);
+      sigma0 = 0.1;
+      cov =
+        Array.init k (fun _ ->
+            Mat.init a a (fun i j ->
+                if i = j then 1.0 else 0.01 *. float_of_int ((i + j) mod 7)));
+    }
+  in
+  (match S.Model.validate model with
+  | Ok () -> ()
+  | Error e ->
+      Format.fprintf fmt "  SMOKE FAIL: synthetic model invalid: %s@." e;
+      exit 1);
+  let batch = 32 in
+  let xs = Mat.init batch dim (fun _ _ -> Cbmf_prob.Rng.gaussian rng) in
+  let states = Array.init batch (fun i -> i mod k) in
+  let dir = Filename.temp_file "cbmf_serve_load" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "load.sock" in
+  let workers = 2 and queue_cap = 4 in
+  let registry = S.Registry.create () in
+  S.Registry.put registry ~name:"m" model;
+  let server =
+    S.Server.start
+      ~config:{ S.Server.default_config with workers; queue_cap; timeout = 5.0 }
+      ~registry (Unix.ADDR_UNIX sock)
+  in
+  let addr = S.Server.addr server in
+  let one_request () =
+    (* Fresh connection per request: connect, one predict, close — the
+       open-loop generator models independent arrivals, not sessions. *)
+    match S.Client.connect ~timeout:5.0 addr with
+    | exception _ -> `Lost
+    | c ->
+        Fun.protect
+          ~finally:(fun () -> try S.Client.close c with _ -> ())
+          (fun () ->
+            match S.Client.predict_typed c ~name:"m" ~states ~xs with
+            | Ok _ -> `Ok
+            | Error (S.Client.Overloaded _) -> `Shed
+            | Error _ -> `Lost
+            | exception _ -> `Lost)
+  in
+  (* Calibrate: sequential closed-loop rate over one connection.  This
+     under-counts true 2-worker capacity (it includes client-side
+     round-trip overhead), so "4x" offered is conservatively past
+     saturation. *)
+  let calib_reqs = if smoke then 40 else 200 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to calib_reqs do
+    ignore (one_request ())
+  done;
+  let base_rate = float_of_int calib_reqs /. (Unix.gettimeofday () -. t0) in
+  let run_level mult =
+    let offered = base_rate *. float_of_int mult in
+    let n_threads = min 16 (4 * mult) in
+    let total = (if smoke then 60 else 400) * mult in
+    let lock = Mutex.create () in
+    let ok = ref 0 and shed = ref 0 and lost = ref 0 in
+    let lats = ref [] in
+    let start = Unix.gettimeofday () in
+    let worker tid =
+      (* Thread [tid] owns arrivals tid, tid+T, tid+2T, ... of the
+         global schedule; arrival j fires at start + j/offered whether
+         or not earlier requests have finished. *)
+      let j = ref tid in
+      while !j < total do
+        let due = start +. (float_of_int !j /. offered) in
+        let now = Unix.gettimeofday () in
+        if due > now then Thread.delay (due -. now);
+        let s0 = Unix.gettimeofday () in
+        let outcome = one_request () in
+        let lat_us = (Unix.gettimeofday () -. s0) *. 1e6 in
+        Mutex.lock lock;
+        (match outcome with
+        | `Ok ->
+            incr ok;
+            lats := lat_us :: !lats
+        | `Shed -> incr shed
+        | `Lost -> incr lost);
+        Mutex.unlock lock;
+        j := !j + n_threads
+      done
+    in
+    let threads = List.init n_threads (fun tid -> Thread.create worker tid) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. start in
+    let sorted = Array.of_list !lats in
+    Array.sort compare sorted;
+    let pct p =
+      if Array.length sorted = 0 then 0.0
+      else
+        sorted.(min (Array.length sorted - 1)
+                  (int_of_float (p *. float_of_int (Array.length sorted))))
+    in
+    let throughput = float_of_int !ok /. wall in
+    let shed_rate = float_of_int !shed /. float_of_int total in
+    Format.fprintf fmt
+      "  %dx offered (%8.1f rps)  ok %4d  shed %4d  lost %4d  thru %8.1f \
+       rps  p50 %8.0f us  p99 %8.0f us@."
+      mult offered !ok !shed !lost throughput (pct 0.50) (pct 0.99);
+    (mult, offered, total, !ok, !shed, !lost, throughput, pct 0.50, pct 0.99,
+     shed_rate)
+  in
+  let levels = List.map run_level [ 1; 2; 4 ] in
+  (let c = S.Client.connect ~timeout:5.0 addr in
+   S.Client.shutdown c;
+   S.Client.close c);
+  S.Server.wait server;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let oc = open_out "BENCH_serve_load.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workers\": %d,\n\
+    \  \"queue_cap\": %d,\n\
+    \  \"batch\": %d,\n\
+    \  \"base_rate_rps\": %.1f,\n\
+    \  \"levels\": [\n"
+    workers queue_cap batch base_rate;
+  List.iteri
+    (fun i (mult, offered, sent, ok, shed, lost, thru, p50, p99, shed_rate) ->
+      Printf.fprintf oc
+        "    { \"offered_x\": %d, \"offered_rps\": %.1f, \"sent\": %d, \
+         \"ok\": %d, \"shed\": %d, \"lost\": %d, \"throughput_rps\": %.1f, \
+         \"p50_us\": %.0f, \"p99_us\": %.0f, \"shed_rate\": %.4f }%s\n"
+        mult offered sent ok shed lost thru p50 p99 shed_rate
+        (if i = 2 then "" else ","))
+    levels;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.fprintf fmt "  [wrote BENCH_serve_load.json]@.";
+  if smoke then begin
+    let ic = open_in "BENCH_serve_load.json" in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let has needle =
+      let nl = String.length needle and bl = String.length body in
+      let rec scan i =
+        if i + nl > bl then false
+        else if String.sub body i nl = needle then true
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let required =
+      [ "\"workers\""; "\"queue_cap\""; "\"base_rate_rps\""; "\"levels\"";
+        "\"offered_x\": 1"; "\"offered_x\": 2"; "\"offered_x\": 4";
+        "\"throughput_rps\""; "\"p50_us\""; "\"p99_us\""; "\"shed_rate\"" ]
+    in
+    let missing = List.filter (fun key -> not (has key)) required in
+    if missing <> [] then begin
+      Format.fprintf fmt "  SMOKE FAIL: missing %s@."
+        (String.concat ", " missing);
+      exit 1
+    end;
+    let _, _, _, ok4, shed4, _, _, _, p99_4, _ =
+      List.nth levels 2
+    in
+    if shed4 = 0 then begin
+      Format.fprintf fmt
+        "  SMOKE FAIL: 4x offered load produced zero typed sheds@.";
+      exit 1
+    end;
+    if ok4 = 0 then begin
+      Format.fprintf fmt "  SMOKE FAIL: 4x offered load served nothing@.";
+      exit 1
+    end;
+    if p99_4 >= 5e6 then begin
+      Format.fprintf fmt
+        "  SMOKE FAIL: accepted-request p99 unbounded under overload \
+         (%.0f us)@."
+        p99_4;
+      exit 1
+    end;
+    Format.fprintf fmt
+      "  smoke OK: schema valid, overload shed with typed replies, accepted \
+       p99 bounded@."
+  end
+
 (* --- Front-end before/after kernels -------------------------------- *)
 
 (* Times the PR's front-end hot paths against the frozen pre-PR
@@ -1268,6 +1486,7 @@ let () =
   if want "par" then run_par ~smoke ~quick;
   if want "posterior" then run_posterior ~smoke;
   if want "serve" then run_serve ~smoke;
+  if want "serve_load" then run_serve_load ~smoke;
   if want "frontend" then run_frontend ~smoke;
   if want "synth" then run_synth ~smoke;
   Format.fprintf fmt "@.[bench complete in %.1f s wall clock]@."

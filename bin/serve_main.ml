@@ -96,7 +96,8 @@ let parse_model_spec spec =
         (Printf.sprintf "bad --model %S (expected NAME=SNAPSHOT_PATH)" spec);
       exit 2
 
-let run_serve socket port workers timeout max_mb models =
+let run_serve socket port workers timeout max_mb queue_cap deadline
+    drain_timeout retry_after_ms models =
   let addr = sockaddr ~socket ~port in
   let registry =
     Registry.create ~max_bytes:(max_mb * 1024 * 1024) ()
@@ -107,7 +108,17 @@ let run_serve socket port workers timeout max_mb models =
       Registry.add_path registry ~name path;
       Printf.printf "Registered %S -> %s (lazy)\n%!" name path)
     models;
-  let config = { Server.default_config with workers; timeout } in
+  let config =
+    {
+      Server.default_config with
+      workers;
+      timeout;
+      queue_cap;
+      deadline;
+      drain_timeout;
+      retry_after_ms;
+    }
+  in
   let server = Server.start ~config ~registry addr in
   (match Server.addr server with
   | Unix.ADDR_UNIX path -> Printf.printf "Listening on %s\n%!" path
@@ -135,6 +146,42 @@ let serve_cmd =
       value & opt int 256
       & info [ "max-mb" ] ~doc:"Registry budget for resident models, MiB.")
   in
+  let queue_cap =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.queue_cap
+      & info [ "queue-cap" ]
+          ~doc:
+            "Admission-queue capacity.  Connections arriving with the queue \
+             full are shed: a typed overloaded reply with a retry hint, then \
+             close — the acceptor never blocks.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt float Server.default_config.Server.deadline
+      & info [ "deadline" ]
+          ~doc:
+            "Server-side per-request deadline budget in seconds (0 = none).  \
+             A request's first budget starts at accept, so queue wait counts; \
+             expired requests get a typed deadline-exceeded reply.")
+  in
+  let drain_timeout =
+    Arg.(
+      value
+      & opt float Server.default_config.Server.drain_timeout
+      & info [ "drain-timeout" ]
+          ~doc:
+            "Seconds to let in-flight requests finish on stop before \
+             force-closing their connections.")
+  in
+  let retry_after_ms =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.retry_after_ms
+      & info [ "retry-after-ms" ]
+          ~doc:"Retry hint carried in shed (overloaded) replies.")
+  in
   let models =
     Arg.(
       value & opt_all string []
@@ -144,7 +191,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the inference server.")
     Term.(
-      const run_serve $ socket_t $ port_t $ workers $ timeout $ max_mb $ models)
+      const run_serve $ socket_t $ port_t $ workers $ timeout $ max_mb
+      $ queue_cap $ deadline $ drain_timeout $ retry_after_ms $ models)
 
 (* --- Client one-shots ------------------------------------------------- *)
 
@@ -208,6 +256,49 @@ let predict_cmd =
     (Cmd.info "predict" ~doc:"Predict one point against a loaded model.")
     Term.(const run_predict $ socket_t $ port_t $ name_t $ state_t $ x_t)
 
+let run_ping socket port =
+  with_client ~socket ~port (fun c ->
+      match Client.ping c with
+      | Ok generation ->
+          Printf.printf "pong: generation %d\n" generation
+      | Error f ->
+          prerr_endline ("ping failed: " ^ Client.failure_to_string f);
+          exit 1)
+
+let ping_cmd =
+  Cmd.v
+    (Cmd.info "ping"
+       ~doc:
+         "Health-check a running server; prints its registry generation.")
+    Term.(const run_ping $ socket_t $ port_t)
+
+let run_reload socket port name path =
+  with_client ~socket ~port (fun c ->
+      match Client.reload_path c ~name ~path with
+      | Ok (generation, n_active, n_states, bytes) ->
+          Printf.printf
+            "Reloaded %S (generation %d): %d active terms, %d states, ~%d \
+             bytes\n"
+            name generation n_active n_states bytes
+      | Error f ->
+          prerr_endline ("reload failed: " ^ Client.failure_to_string f);
+          exit 1)
+
+let reload_cmd =
+  let name_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let path_t =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SNAPSHOT")
+  in
+  Cmd.v
+    (Cmd.info "reload"
+       ~doc:
+         "Hot-swap a served model from a snapshot file.  In-flight requests \
+          finish on the old model; a bad snapshot is refused and the old \
+          model keeps serving.")
+    Term.(const run_reload $ socket_t $ port_t $ name_t $ path_t)
+
 let run_stats socket port =
   with_client ~socket ~port (fun c ->
       match Client.stats c with
@@ -236,4 +327,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "cbmf_serve" ~doc)
-          [ fit_cmd; serve_cmd; load_cmd; predict_cmd; stats_cmd; shutdown_cmd ]))
+          [ fit_cmd; serve_cmd; load_cmd; predict_cmd; ping_cmd; reload_cmd;
+            stats_cmd; shutdown_cmd ]))

@@ -2,7 +2,10 @@
 
     Production code guards its failure-prone operations with named
     sites — ["chol.factorize"], ["mna.solve"], ["mc.sample"],
-    ["posterior.compute"] — by asking {!fire} whether the operation
+    ["posterior.compute"], plus the serving tier's ["serve.decode"],
+    ["serve.deadline"] and the chaos sites ["serve.accept_drop"],
+    ["serve.slow_reply"], ["serve.torn_frame"], ["serve.worker_crash"]
+    (see [Cbmf_serve.Server]) — by asking {!fire} whether the operation
     should be made to fail.  When the harness is disarmed (the default)
     {!fire} is a single flat-ref read returning [false]; there is no
     hashing, no allocation and no site lookup, so shipping the guards

@@ -1,3 +1,5 @@
+open Cbmf_prob
+
 type t = { fd : Unix.file_descr; mutable closed : bool }
 
 let of_fd fd = { fd; closed = false }
@@ -62,3 +64,118 @@ let shutdown t =
   match call t Protocol.Shutdown with
   | _ -> ()
   | exception (Protocol.Closed | Codec.Corrupt _ | Unix.Unix_error _) -> ()
+
+(* --- Typed failures --------------------------------------------------- *)
+
+type failure =
+  | Connection_lost of string
+  | Overloaded of { queue_depth : int; retry_after_ms : int }
+  | Server_error of { code : Protocol.error_code; message : string }
+  | Unexpected of string
+
+let failure_to_string = function
+  | Connection_lost msg -> Printf.sprintf "connection lost: %s" msg
+  | Overloaded { queue_depth; retry_after_ms } ->
+      Printf.sprintf "overloaded: queue depth %d, retry after %d ms"
+        queue_depth retry_after_ms
+  | Server_error { code; message } ->
+      Printf.sprintf "%s: %s" (Protocol.error_code_name code) message
+  | Unexpected msg -> Printf.sprintf "unexpected reply: %s" msg
+
+let retryable = function
+  | Connection_lost _ | Overloaded _ -> true
+  | Server_error _ | Unexpected _ -> false
+
+(* One round-trip with every transport-level failure folded into a
+   typed value: a hangup, a torn reply frame, a socket timeout and a
+   refused connect all become [Connection_lost] — the stream is gone
+   either way, and a caller (e.g. [with_failover]) can't use the raw
+   exception to decide anything the constructor doesn't already say. *)
+let call_typed t req =
+  match call t req with
+  | Protocol.Overloaded { queue_depth; retry_after_ms } ->
+      Error (Overloaded { queue_depth; retry_after_ms })
+  | Protocol.Error { code; message } -> Error (Server_error { code; message })
+  | reply -> Ok reply
+  | exception Protocol.Closed ->
+      Error (Connection_lost "server closed the connection")
+  | exception End_of_file -> Error (Connection_lost "unexpected end of stream")
+  | exception Codec.Corrupt msg ->
+      Error (Connection_lost (Printf.sprintf "torn reply: %s" msg))
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Connection_lost (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let predicted_of = function
+  | Ok (Protocol.Predicted { means; sds }) -> Ok (means, sds)
+  | Ok _ -> Error (Unexpected "predict answered with a non-predict reply")
+  | Error _ as e -> e
+
+let predict_typed t ~name ~states ~xs =
+  predicted_of (call_typed t (Protocol.Predict { name; states; xs }))
+
+let predict_deadline t ~name ~states ~xs ~deadline_ms =
+  predicted_of
+    (call_typed t (Protocol.Predict_deadline { name; states; xs; deadline_ms }))
+
+let ping t =
+  match call_typed t Protocol.Ping with
+  | Ok (Protocol.Pong { generation }) -> Ok generation
+  | Ok _ -> Error (Unexpected "ping answered with a non-pong reply")
+  | Error _ as e -> e
+
+let reload_result t req =
+  match call_typed t req with
+  | Ok (Protocol.Reloaded { generation; n_active; n_states; bytes }) ->
+      Ok (generation, n_active, n_states, bytes)
+  | Ok _ -> Error (Unexpected "reload answered with a non-reload reply")
+  | Error _ as e -> e
+
+let reload_path t ~name ~path =
+  reload_result t (Protocol.Reload { name; source = Protocol.Path path })
+
+let reload_inline t ~name ~image =
+  reload_result t (Protocol.Reload { name; source = Protocol.Inline image })
+
+(* --- Failover --------------------------------------------------------- *)
+
+let with_failover ?(attempts = 6) ?(base_backoff = 0.01) ?(max_backoff = 0.25)
+    ?(seed = 0L) ?(timeout = 10.0) addrs f =
+  match addrs with
+  | [] -> invalid_arg "Client.with_failover: no replicas"
+  | _ ->
+      let replicas = Array.of_list addrs in
+      let n = Array.length replicas in
+      let attempts = max 1 attempts in
+      let rec go i =
+        let addr = replicas.(i mod n) in
+        let outcome =
+          match connect ~timeout addr with
+          | exception Unix.Unix_error (e, fn, _) ->
+              Error
+                (Connection_lost
+                   (Printf.sprintf "connect %s: %s" fn (Unix.error_message e)))
+          | c -> Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+        in
+        match outcome with
+        | Ok _ as ok -> ok
+        | Error failure when retryable failure && i + 1 < attempts ->
+            (* Capped exponential backoff with deterministic jitter:
+               the multiplier in [0.5, 1.5) is a pure function of
+               (seed, attempt index), so a replayed run sleeps the
+               same schedule.  An [Overloaded] retry hint floors the
+               delay — the server told us when it wants us back. *)
+            let expo = base_backoff *. (2.0 ** float_of_int i) in
+            let capped = Float.min max_backoff expo in
+            let floor_s =
+              match failure with
+              | Overloaded { retry_after_ms; _ } ->
+                  float_of_int retry_after_ms /. 1000.0
+              | _ -> 0.0
+            in
+            let r = Rng.derive seed ~index:i in
+            let delay = Float.max floor_s (capped *. (0.5 +. Rng.float r)) in
+            Thread.delay delay;
+            go (i + 1)
+        | Error _ as e -> e
+      in
+      go 0

@@ -43,3 +43,86 @@ val stats : t -> (string, string) result
 val shutdown : t -> unit
 (** Fire the shutdown request; tolerates the server hanging up before
     the reply lands. *)
+
+(** {1 Typed failures}
+
+    The [_typed] entry points never raise on transport problems:
+    everything that ends a round-trip folds into a {!failure}, split
+    by what a caller may do about it — {!retryable} failures
+    ([Connection_lost], [Overloaded]) are safe to retry on another
+    replica for idempotent requests; the rest are answers, not
+    outages. *)
+
+type failure =
+  | Connection_lost of string
+      (** The stream is gone: hangup, torn reply frame, socket timeout
+          or refused connect.  Retryable against another replica. *)
+  | Overloaded of { queue_depth : int; retry_after_ms : int }
+      (** Admission control shed the connection; retry after the
+          hint. *)
+  | Server_error of { code : Protocol.error_code; message : string }
+      (** A typed error reply — the server is healthy and said no. *)
+  | Unexpected of string  (** Protocol violation; not retryable. *)
+
+val failure_to_string : failure -> string
+
+val retryable : failure -> bool
+(** [true] exactly for [Connection_lost] and [Overloaded]. *)
+
+val call_typed : t -> Protocol.request -> (Protocol.reply, failure) result
+(** Like {!call} but transport failures and [Overloaded]/[Error]
+    replies land in [Error]; any other reply is [Ok]. *)
+
+val predict_typed :
+  t ->
+  name:string ->
+  states:int array ->
+  xs:Mat.t ->
+  (float array * float array, failure) result
+
+val predict_deadline :
+  t ->
+  name:string ->
+  states:int array ->
+  xs:Mat.t ->
+  deadline_ms:int ->
+  (float array * float array, failure) result
+(** {!predict_typed} with a client-side wall-clock budget in
+    milliseconds; the server answers [Deadline_exceeded] (a
+    [Server_error]) when it cannot make it. *)
+
+val ping : t -> (int, failure) result
+(** Health probe; [Ok generation] carries the registry's global
+    reload generation. *)
+
+val reload_path :
+  t -> name:string -> path:string -> (int * int * int * int, failure) result
+(** Atomically swap the named model to the snapshot at [path];
+    [Ok (generation, n_active, n_states, bytes)].  A corrupt snapshot
+    is a [Server_error] with code [Bad_snapshot] and the old model
+    keeps serving. *)
+
+val reload_inline :
+  t -> name:string -> image:string -> (int * int * int * int, failure) result
+(** Same, shipping the snapshot image in the request body. *)
+
+val with_failover :
+  ?attempts:int ->
+  ?base_backoff:float ->
+  ?max_backoff:float ->
+  ?seed:int64 ->
+  ?timeout:float ->
+  Unix.sockaddr list ->
+  (t -> ('a, failure) result) ->
+  ('a, failure) result
+(** [with_failover addrs f] connects to replicas round-robin and runs
+    [f] (which should issue {e idempotent} requests — predicts, pings)
+    until it succeeds, a non-retryable failure is returned, or
+    [attempts] (default 6) tries are exhausted.  Between retries it
+    sleeps a capped exponential backoff ([base_backoff] 10 ms doubling
+    up to [max_backoff] 250 ms) with deterministic jitter in
+    [0.5, 1.5)× derived from [(seed, attempt)] via
+    {!Cbmf_prob.Rng.derive} — replays sleep the same schedule.  An
+    [Overloaded] hint floors the next delay at its [retry_after_ms].
+    Each attempt uses a fresh connection, closed before returning.
+    Raises [Invalid_argument] on an empty replica list. *)

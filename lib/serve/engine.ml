@@ -1,6 +1,19 @@
 open Cbmf_linalg
 open Cbmf_basis
 open Cbmf_parallel
+open Cbmf_robust
+
+(* The site named by the typed fault raised when a batch overruns its
+   wall-clock budget — the server maps it to a [Deadline_exceeded]
+   reply.  The check sits at chunk granularity, so an expired budget
+   abandons the batch within one chunk's work instead of running to
+   completion and replying late. *)
+let deadline_site = "serve.deadline"
+
+let deadline_fault step =
+  Fault.Error
+    (Fault.Early_stop
+       { site = deadline_site; step; reason = "deadline exceeded" })
 
 (* Fixed fan-out granularity, owned by [Tune.batch_chunk] ([CBMF_CHUNK]
    override, 64 otherwise).  MUST NOT depend on the pool size — chunk
@@ -27,8 +40,14 @@ let id_mu_s = Arena.fresh_id ()
 
 let id_x = Arena.fresh_id ()
 
-let predict_batch ?pool (m : Model.t) ~states ~(xs : Mat.t) =
+let predict_batch ?pool ?deadline (m : Model.t) ~states ~(xs : Mat.t) =
   let n = xs.Mat.rows in
+  let check_deadline step =
+    match deadline with
+    | None -> ()
+    | Some d -> if Unix.gettimeofday () > d then raise (deadline_fault step)
+  in
+  check_deadline 0;
   if Array.length states <> n then
     invalid_arg
       (Printf.sprintf "Engine.predict_batch: %d states for %d points"
@@ -51,6 +70,7 @@ let predict_batch ?pool (m : Model.t) ~states ~(xs : Mat.t) =
   let sds = Array.make n 0.0 in
   let noise = m.Model.sigma0 *. m.Model.sigma0 in
   let process_chunk ~grab c =
+    check_deadline c;
     let lo = c * chunk_size in
     let hi = min n (lo + chunk_size) in
     let cn = hi - lo in

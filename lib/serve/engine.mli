@@ -23,8 +23,14 @@ val chunk_size : int
     so chunk boundaries (and hence results) are bit-identical at any
     [CBMF_DOMAINS]. *)
 
+val deadline_site : string
+(** ["serve.deadline"] — the site carried by the typed
+    {!Cbmf_robust.Fault.Early_stop} fault {!predict_batch} raises when
+    its [deadline] expires. *)
+
 val predict_batch :
   ?pool:Pool.t ->
+  ?deadline:float ->
   Model.t ->
   states:int array ->
   xs:Mat.t ->
@@ -34,7 +40,14 @@ val predict_batch :
     returns [(means, sds)] in raw response units, the sd including the
     observation-noise level σ0 — exactly {!Model.predict} per point.
     [pool] defaults to {!Pool.default}.  Raises [Invalid_argument] on
-    shape mismatches or out-of-range states. *)
+    shape mismatches or out-of-range states.
+
+    [deadline] is an absolute wall-clock instant ([Unix.gettimeofday]
+    scale).  When given, the budget is checked before every chunk; an
+    expired budget abandons the batch by raising the typed fault
+    [Fault.Early_stop { site = deadline_site; _ }] instead of
+    finishing and replying late.  [None] (the default) adds no checks
+    and no cost — the fault-free path is bit-identical to before. *)
 
 val predict : Model.t -> state:int -> Vec.t -> float * float
 (** Batch of one, through the batch path.  Equal to {!Model.predict}

@@ -9,6 +9,14 @@ type request =
   | Predict of { name : string; states : int array; xs : Mat.t }
   | Stats
   | Shutdown
+  | Ping
+  | Reload of { name : string; source : source }
+  | Predict_deadline of {
+      name : string;
+      states : int array;
+      xs : Mat.t;
+      deadline_ms : int;
+    }
 
 type error_code =
   | Bad_frame
@@ -17,12 +25,16 @@ type error_code =
   | Model_not_found
   | Bad_request
   | Internal
+  | Deadline_exceeded
 
 type reply =
   | Loaded of { n_active : int; n_states : int; bytes : int }
   | Predicted of { means : float array; sds : float array }
   | Stats_json of string
   | Shutting_down
+  | Pong of { generation : int }
+  | Reloaded of { generation : int; n_active : int; n_states : int; bytes : int }
+  | Overloaded of { queue_depth : int; retry_after_ms : int }
   | Error of { code : error_code; message : string }
 
 let error_code_name = function
@@ -32,18 +44,31 @@ let error_code_name = function
   | Model_not_found -> "model-not-found"
   | Bad_request -> "bad-request"
   | Internal -> "internal"
+  | Deadline_exceeded -> "deadline-exceeded"
 
-(* --- Opcodes --------------------------------------------------------- *)
+(* --- Opcodes ---------------------------------------------------------
+
+   Strictly additive: the pre-existing encodings (ops 1-4, reply tags
+   1-4/255, error codes 1-6) are frozen — a client built before this
+   file grew Ping/Reload/deadlines keeps speaking the same bytes and
+   keeps getting byte-identical replies.  New messages only ever claim
+   fresh numbers. *)
 
 let op_load = 1
 let op_predict = 2
 let op_stats = 3
 let op_shutdown = 4
+let op_ping = 5
+let op_reload = 6
+let op_predict_deadline = 7
 
 let rep_loaded = 1
 let rep_predicted = 2
 let rep_stats = 3
 let rep_shutting_down = 4
+let rep_pong = 5
+let rep_reloaded = 6
+let rep_overloaded = 7
 let rep_error = 255
 
 let code_of_int = function
@@ -53,6 +78,7 @@ let code_of_int = function
   | 4 -> Model_not_found
   | 5 -> Bad_request
   | 6 -> Internal
+  | 7 -> Deadline_exceeded
   | n -> raise (Codec.Corrupt (Printf.sprintf "unknown error code %d" n))
 
 let int_of_code = function
@@ -62,8 +88,23 @@ let int_of_code = function
   | Model_not_found -> 4
   | Bad_request -> 5
   | Internal -> 6
+  | Deadline_exceeded -> 7
 
 (* --- Bodies ---------------------------------------------------------- *)
+
+let w_source w = function
+  | Path p ->
+      Codec.w_u8 w 0;
+      Codec.w_string w p
+  | Inline image ->
+      Codec.w_u8 w 1;
+      Codec.w_string w image
+
+let r_source r =
+  let mode = Codec.r_u8 r in
+  if mode = 0 then Path (Codec.r_string ~max_len:4096 r)
+  else if mode = 1 then Inline (Codec.r_string ~max_len:max_frame_len r)
+  else raise (Codec.Corrupt (Printf.sprintf "unknown load mode %d" mode))
 
 let encode_request req =
   let w = Codec.writer () in
@@ -71,20 +112,25 @@ let encode_request req =
   | Load { name; source } ->
       Codec.w_u8 w op_load;
       Codec.w_string w name;
-      (match source with
-      | Path p ->
-          Codec.w_u8 w 0;
-          Codec.w_string w p
-      | Inline image ->
-          Codec.w_u8 w 1;
-          Codec.w_string w image)
+      w_source w source
   | Predict { name; states; xs } ->
       Codec.w_u8 w op_predict;
       Codec.w_string w name;
       Codec.w_u32_array w states;
       Codec.w_mat w xs
   | Stats -> Codec.w_u8 w op_stats
-  | Shutdown -> Codec.w_u8 w op_shutdown);
+  | Shutdown -> Codec.w_u8 w op_shutdown
+  | Ping -> Codec.w_u8 w op_ping
+  | Reload { name; source } ->
+      Codec.w_u8 w op_reload;
+      Codec.w_string w name;
+      w_source w source
+  | Predict_deadline { name; states; xs; deadline_ms } ->
+      Codec.w_u8 w op_predict_deadline;
+      Codec.w_string w name;
+      Codec.w_u32_array w states;
+      Codec.w_mat w xs;
+      Codec.w_u32 w deadline_ms);
   Codec.contents w
 
 let decode_request body =
@@ -93,14 +139,7 @@ let decode_request body =
   let req =
     if op = op_load then begin
       let name = Codec.r_string ~max_len:4096 r in
-      let mode = Codec.r_u8 r in
-      let source =
-        if mode = 0 then Path (Codec.r_string ~max_len:4096 r)
-        else if mode = 1 then Inline (Codec.r_string ~max_len:max_frame_len r)
-        else
-          raise (Codec.Corrupt (Printf.sprintf "unknown load mode %d" mode))
-      in
-      Load { name; source }
+      Load { name; source = r_source r }
     end
     else if op = op_predict then begin
       let name = Codec.r_string ~max_len:4096 r in
@@ -110,6 +149,18 @@ let decode_request body =
     end
     else if op = op_stats then Stats
     else if op = op_shutdown then Shutdown
+    else if op = op_ping then Ping
+    else if op = op_reload then begin
+      let name = Codec.r_string ~max_len:4096 r in
+      Reload { name; source = r_source r }
+    end
+    else if op = op_predict_deadline then begin
+      let name = Codec.r_string ~max_len:4096 r in
+      let states = Codec.r_u32_array r in
+      let xs = Codec.r_mat r in
+      let deadline_ms = Codec.r_u32 r in
+      Predict_deadline { name; states; xs; deadline_ms }
+    end
     else raise (Codec.Corrupt (Printf.sprintf "unknown opcode %d" op))
   in
   Codec.expect_end r;
@@ -131,6 +182,19 @@ let encode_reply rep =
       Codec.w_u8 w rep_stats;
       Codec.w_string w json
   | Shutting_down -> Codec.w_u8 w rep_shutting_down
+  | Pong { generation } ->
+      Codec.w_u8 w rep_pong;
+      Codec.w_u32 w generation
+  | Reloaded { generation; n_active; n_states; bytes } ->
+      Codec.w_u8 w rep_reloaded;
+      Codec.w_u32 w generation;
+      Codec.w_u32 w n_active;
+      Codec.w_u32 w n_states;
+      Codec.w_u32 w bytes
+  | Overloaded { queue_depth; retry_after_ms } ->
+      Codec.w_u8 w rep_overloaded;
+      Codec.w_u32 w queue_depth;
+      Codec.w_u32 w retry_after_ms
   | Error { code; message } ->
       Codec.w_u8 w rep_error;
       Codec.w_u8 w (int_of_code code);
@@ -152,6 +216,17 @@ let decode_reply body =
       Predicted { means; sds }
     else if tag = rep_stats then Stats_json (Codec.r_string r)
     else if tag = rep_shutting_down then Shutting_down
+    else if tag = rep_pong then Pong { generation = Codec.r_u32 r }
+    else if tag = rep_reloaded then
+      let generation = Codec.r_u32 r in
+      let n_active = Codec.r_u32 r in
+      let n_states = Codec.r_u32 r in
+      let bytes = Codec.r_u32 r in
+      Reloaded { generation; n_active; n_states; bytes }
+    else if tag = rep_overloaded then
+      let queue_depth = Codec.r_u32 r in
+      let retry_after_ms = Codec.r_u32 r in
+      Overloaded { queue_depth; retry_after_ms }
     else if tag = rep_error then
       let code = code_of_int (Codec.r_u8 r) in
       let message = Codec.r_string ~max_len:65536 r in
@@ -165,6 +240,14 @@ let decode_reply body =
 
 exception Closed
 
+(* A frame writer must see a dead peer as [Unix_error EPIPE], not as
+   process-terminating SIGPIPE — shed connections and crashed clients
+   make writes-after-hangup a routine event, on both sides of the
+   wire.  Forced on first write; no-op where the signal doesn't
+   exist. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+
 let rec write_all fd buf pos len =
   if len > 0 then begin
     let n =
@@ -174,14 +257,19 @@ let rec write_all fd buf pos len =
     write_all fd buf (pos + n) (len - n)
   end
 
-let write_frame fd body =
+let frame body =
   let len = String.length body in
   if len > max_frame_len then
-    invalid_arg (Printf.sprintf "Protocol.write_frame: %d bytes" len);
+    invalid_arg (Printf.sprintf "Protocol.frame: %d bytes" len);
   let buf = Bytes.create (4 + len) in
   Bytes.set_int32_le buf 0 (Int32.of_int len);
   Bytes.blit_string body 0 buf 4 len;
-  write_all fd buf 0 (4 + len)
+  buf
+
+let write_frame fd body =
+  Lazy.force ignore_sigpipe;
+  let buf = frame body in
+  write_all fd buf 0 (Bytes.length buf)
 
 (* Read exactly [len] bytes; [at_boundary] distinguishes a clean EOF
    (peer hung up between frames) from a torn frame. *)

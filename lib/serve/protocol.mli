@@ -8,7 +8,16 @@
 
     Decoding never trusts the peer: any malformed body raises
     {!Codec.Corrupt}, which the server answers with a typed
-    [`Bad_frame] {!reply} error instead of dying. *)
+    [`Bad_frame] {!reply} error instead of dying.
+
+    {b Versioning is strictly additive.}  The original encodings (ops
+    1-4, reply tags 1-4/255, error codes 1-6) are frozen byte-for-byte;
+    the overload/deadline/reload/health extensions only ever claim
+    fresh numbers ([Ping]=5, [Reload]=6, [Predict_deadline]=7; reply
+    tags [Pong]=5, [Reloaded]=6, [Overloaded]=7; error code
+    [Deadline_exceeded]=7).  A pre-extension client keeps speaking the
+    old bytes and keeps receiving byte-identical replies — the wire
+    back-compat test in [test_serve.ml] pins this. *)
 
 open Cbmf_linalg
 
@@ -26,6 +35,20 @@ type request =
   | Predict of { name : string; states : int array; xs : Mat.t }
   | Stats
   | Shutdown
+  | Ping  (** health probe; answered with {!reply.Pong} even under load *)
+  | Reload of { name : string; source : source }
+      (** atomic generation-swap of an existing (or new) slot:
+          in-flight predicts finish on the old model, the next request
+          sees the new one; a bad image rolls back (slot untouched) *)
+  | Predict_deadline of {
+      name : string;
+      states : int array;
+      xs : Mat.t;
+      deadline_ms : int;
+          (** client-side wall budget for this request, milliseconds
+              from server receipt; the server answers
+              [Deadline_exceeded] rather than replying late *)
+    }
 
 type error_code =
   | Bad_frame  (** the body did not decode *)
@@ -34,12 +57,23 @@ type error_code =
   | Model_not_found
   | Bad_request  (** shape/state errors from the engine *)
   | Internal  (** anything else; the server stays up *)
+  | Deadline_exceeded
+      (** the request's wall budget (client [deadline_ms] or the
+          server's configured per-request deadline) ran out *)
 
 type reply =
   | Loaded of { n_active : int; n_states : int; bytes : int }
   | Predicted of { means : float array; sds : float array }
   | Stats_json of string
   | Shutting_down
+  | Pong of { generation : int }
+      (** [generation] is the registry's global reload counter, so a
+          client can observe a reload land without a model request *)
+  | Reloaded of { generation : int; n_active : int; n_states : int; bytes : int }
+  | Overloaded of { queue_depth : int; retry_after_ms : int }
+      (** admission control shed this connection before any request
+          was read; retry against another replica or after
+          [retry_after_ms] *)
   | Error of { code : error_code; message : string }
 
 val error_code_name : error_code -> string
@@ -60,6 +94,12 @@ val decode_reply : string -> reply
 
 exception Closed
 (** The peer closed the connection at a frame boundary. *)
+
+val frame : string -> bytes
+(** The on-wire bytes of one frame (length prefix + body).  Raises
+    [Invalid_argument] on bodies above {!max_frame_len}.  Exposed so
+    the chaos harness can write {e partial} frames (torn-frame
+    injection); normal senders use {!write_frame}. *)
 
 val write_frame : Unix.file_descr -> string -> unit
 (** Length prefix + body, handling short writes.  Raises

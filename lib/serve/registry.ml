@@ -3,6 +3,7 @@ type slot = {
   mutable model : Model.t option;
   mutable bytes : int;  (* 0 unless resident *)
   mutable last_use : int;  (* LRU tick *)
+  generation : int;  (* bumped by every put/reload of this name *)
 }
 
 type stats = {
@@ -10,6 +11,8 @@ type stats = {
   misses : int;
   loads : int;
   evictions : int;
+  reloads : int;
+  generation : int;
   resident_bytes : int;
   resident_models : int;
   max_bytes : int;
@@ -25,6 +28,8 @@ type t = {
   mutable misses : int;
   mutable loads : int;
   mutable evictions : int;
+  mutable reloads : int;
+  mutable gen : int;  (* global generation: every put/reload bumps it *)
 }
 
 let create ?(max_bytes = 256 * 1024 * 1024) () =
@@ -38,6 +43,8 @@ let create ?(max_bytes = 256 * 1024 * 1024) () =
     misses = 0;
     loads = 0;
     evictions = 0;
+    reloads = 0;
+    gen = 0;
   }
 
 let locked t f =
@@ -77,26 +84,66 @@ let enforce_budget t ~keep =
         t.evictions <- t.evictions + 1
   done
 
-let put t ~name model =
+(* Swap [name] to [model] under the lock: release the old resident
+   bytes, install the new model, bump both generation counters.  The
+   old [Model.t] value stays valid for any request that already
+   fetched it — models are immutable, so in-flight work finishes on
+   the old generation while the next [find] sees the new one. *)
+let swap_locked t ~name ~path model =
+  let old_gen =
+    match Hashtbl.find_opt t.slots name with
+    | Some old ->
+        drop_resident t name old;
+        old.generation
+    | None -> 0
+  in
+  Hashtbl.remove t.slots name;
+  let bytes = Model.byte_size model in
+  let generation = old_gen + 1 in
+  Hashtbl.replace t.slots name
+    { path; model = Some model; bytes; last_use = next_tick t; generation };
+  t.resident <- t.resident + bytes;
+  t.gen <- t.gen + 1;
+  enforce_budget t ~keep:name;
+  generation
+
+let put t ~name model = locked t (fun () -> ignore (swap_locked t ~name ~path:None model))
+
+let reload t ~name model =
   locked t (fun () ->
-      (match Hashtbl.find_opt t.slots name with
-      | Some old -> drop_resident t name old
-      | None -> ());
-      Hashtbl.remove t.slots name;
-      let bytes = Model.byte_size model in
-      Hashtbl.replace t.slots name
-        { path = None; model = Some model; bytes; last_use = next_tick t };
-      t.resident <- t.resident + bytes;
-      enforce_budget t ~keep:name)
+      t.reloads <- t.reloads + 1;
+      swap_locked t ~name ~path:None model)
+
+let reload_path t ~name path =
+  (* Decode OUTSIDE the lock: a slow or faulty snapshot must not stall
+     concurrent lookups, and a [Bad_snapshot] raised here rolls back
+     for free — the slot was never touched. *)
+  let model = Snapshot.load ~path in
+  let generation =
+    locked t (fun () ->
+        t.reloads <- t.reloads + 1;
+        swap_locked t ~name ~path:(Some path) model)
+  in
+  (model, generation)
 
 let add_path t ~name path =
   locked t (fun () ->
-      (match Hashtbl.find_opt t.slots name with
-      | Some old -> drop_resident t name old
-      | None -> ());
+      let old_gen =
+        match Hashtbl.find_opt t.slots name with
+        | Some old ->
+            drop_resident t name old;
+            old.generation
+        | None -> 0
+      in
       Hashtbl.remove t.slots name;
       Hashtbl.replace t.slots name
-        { path = Some path; model = None; bytes = 0; last_use = next_tick t })
+        {
+          path = Some path;
+          model = None;
+          bytes = 0;
+          last_use = next_tick t;
+          generation = old_gen;
+        })
 
 let lookup t ~name =
   match Hashtbl.find_opt t.slots name with
@@ -139,6 +186,14 @@ let names t =
       Hashtbl.fold (fun name _ acc -> name :: acc) t.slots []
       |> List.sort String.compare)
 
+let generation t ~name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.slots name with
+      | Some slot -> slot.generation
+      | None -> 0)
+
+let total_generation t = locked t (fun () -> t.gen)
+
 let stats t =
   locked t (fun () ->
       let resident_models =
@@ -151,6 +206,8 @@ let stats t =
         misses = t.misses;
         loads = t.loads;
         evictions = t.evictions;
+        reloads = t.reloads;
+        generation = t.gen;
         resident_bytes = t.resident;
         resident_models;
         max_bytes = t.max_bytes;

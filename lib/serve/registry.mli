@@ -12,7 +12,16 @@
     model).
 
     All operations are thread-safe (one mutex; loading happens inside
-    it, so two threads racing on the same cold slot decode once). *)
+    it, so two threads racing on the same cold slot decode once).
+
+    {b Generations.}  Every {!put} and {!reload} of a name bumps that
+    slot's generation counter (and a registry-global one).  Models are
+    immutable values, so a reload is an atomic pointer swap: requests
+    that already fetched the old model finish on it, the next {!find}
+    sees the new one, and nothing is ever torn.  {!reload_path}
+    decodes the snapshot {e outside} the lock — a slow or corrupt
+    image neither stalls serving nor touches the slot (typed
+    [Bad_snapshot] faults roll back for free). *)
 
 type t
 
@@ -21,6 +30,26 @@ val create : ?max_bytes:int -> unit -> t
 
 val put : t -> name:string -> Model.t -> unit
 (** Insert or replace a resident model (no backing path). *)
+
+val reload : t -> name:string -> Model.t -> int
+(** Atomic generation swap: like {!put} but returns the slot's new
+    generation and counts as a reload.  In-flight users of the old
+    model are unaffected (immutability), new lookups see the new
+    model immediately. *)
+
+val reload_path : t -> name:string -> string -> Model.t * int
+(** Load the snapshot at the path (outside the registry lock), then
+    swap it in and re-bind the slot to that path.  Raises the loader's
+    typed {!Cbmf_robust.Fault.Bad_snapshot} on a corrupt image, in
+    which case the slot is untouched — the old model keeps serving
+    (rollback by construction). *)
+
+val generation : t -> name:string -> int
+(** The slot's reload generation (0 if never resident or unknown). *)
+
+val total_generation : t -> int
+(** Registry-global counter bumped by every {!put}/{!reload} — what
+    {!Protocol.reply.Pong} reports. *)
 
 val add_path : t -> name:string -> string -> unit
 (** Register a snapshot file under [name] without loading it.  Replaces
@@ -48,6 +77,8 @@ type stats = {
   misses : int;  (** [get]/[find] that had to load from disk *)
   loads : int;  (** successful snapshot loads *)
   evictions : int;  (** slots evicted or demoted by the budget *)
+  reloads : int;  (** successful {!reload}/{!reload_path} swaps *)
+  generation : int;  (** global generation counter *)
   resident_bytes : int;
   resident_models : int;
   max_bytes : int;

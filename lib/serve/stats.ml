@@ -15,6 +15,10 @@ type t = {
   mutable max_batch : int;
   hist : int array;
   mutable total : int;
+  mutable sheds : int;  (* connections refused by admission control *)
+  mutable deadlines : int;  (* requests answered Deadline_exceeded *)
+  mutable queue_depth : int;  (* gauge: pending connections right now *)
+  mutable queue_peak : int;  (* high-water mark of the gauge *)
 }
 
 let create () =
@@ -26,6 +30,10 @@ let create () =
     max_batch = 0;
     hist = Array.make n_buckets 0;
     total = 0;
+    sheds = 0;
+    deadlines = 0;
+    queue_depth = 0;
+    queue_peak = 0;
   }
 
 let locked t f =
@@ -50,6 +58,21 @@ let record ?batch t ~op ~ok ~seconds =
       let us = Float.max 0.0 (seconds *. 1e6) in
       t.hist.(bucket_of_us us) <- t.hist.(bucket_of_us us) + 1;
       t.total <- t.total + 1)
+
+let record_shed t =
+  locked t (fun () -> t.sheds <- t.sheds + 1)
+
+let record_deadline t =
+  locked t (fun () -> t.deadlines <- t.deadlines + 1)
+
+let set_queue_depth t depth =
+  locked t (fun () ->
+      t.queue_depth <- depth;
+      if depth > t.queue_peak then t.queue_peak <- depth)
+
+let sheds t = locked t (fun () -> t.sheds)
+
+let deadlines t = locked t (fun () -> t.deadlines)
 
 let quantile_unlocked t q =
   if t.total = 0 then 0.0
@@ -88,6 +111,11 @@ let to_json ?(extra = []) t =
       Buffer.add_string buf (Printf.sprintf "\"errors\":%d," t.errors);
       Buffer.add_string buf (Printf.sprintf "\"points\":%d," t.points);
       Buffer.add_string buf (Printf.sprintf "\"max_batch\":%d," t.max_batch);
+      Buffer.add_string buf (Printf.sprintf "\"sheds\":%d," t.sheds);
+      Buffer.add_string buf
+        (Printf.sprintf "\"deadline_exceeded\":%d," t.deadlines);
+      Buffer.add_string buf (Printf.sprintf "\"queue_depth\":%d," t.queue_depth);
+      Buffer.add_string buf (Printf.sprintf "\"queue_peak\":%d," t.queue_peak);
       Buffer.add_string buf "\"latency_us\":{";
       Buffer.add_string buf
         (Printf.sprintf "\"count\":%d,\"p50\":%s,\"p99\":%s,\"buckets\":["
@@ -118,6 +146,8 @@ let to_json ?(extra = []) t =
 let registry_json (r : Registry.stats) =
   Printf.sprintf
     "{\"hits\":%d,\"misses\":%d,\"loads\":%d,\"evictions\":%d,\
+     \"reloads\":%d,\"generation\":%d,\
      \"resident_bytes\":%d,\"resident_models\":%d,\"max_bytes\":%d}"
     r.Registry.hits r.Registry.misses r.Registry.loads r.Registry.evictions
+    r.Registry.reloads r.Registry.generation
     r.Registry.resident_bytes r.Registry.resident_models r.Registry.max_bytes

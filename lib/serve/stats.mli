@@ -17,6 +17,20 @@ val record : ?batch:int -> t -> op:string -> ok:bool -> seconds:float -> unit
     its batch size if any, whether it succeeded, and its wall-clock
     latency. *)
 
+val record_shed : t -> unit
+(** One connection refused by admission control (queue full → typed
+    [Overloaded] reply and close). *)
+
+val record_deadline : t -> unit
+(** One request answered [Deadline_exceeded]. *)
+
+val set_queue_depth : t -> int -> unit
+(** Update the pending-connection gauge (also tracks its peak). *)
+
+val sheds : t -> int
+
+val deadlines : t -> int
+
 val quantile_us : t -> float -> float
 (** Upper bucket edge (µs) at the given quantile in [0, 1]; 0 when
     nothing was recorded. *)

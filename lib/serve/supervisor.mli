@@ -1,0 +1,46 @@
+(** Replica supervision: N servers, health checks, restart-on-crash.
+
+    The supervisor owns [n] replicas, each produced by a user factory
+    [make index] (which binds its own address — a fresh Unix-socket
+    path or TCP port 0 both work).  A background thread pings every
+    replica each [health_interval] via the {!Protocol.request.Ping}
+    op; a replica that cannot be reached (refused connect, hangup,
+    timeout) is restarted: the old server is stopped (idempotent even
+    when it already died, and releases its listening socket) and
+    [make] is called again.
+
+    Restart attempts for a persistently-failing replica are spaced by
+    a per-replica exponential backoff ([base_backoff] doubling up to
+    [max_backoff]); one successful health check resets it.  A failing
+    [make] (e.g. its address still busy) reschedules with the grown
+    backoff instead of raising.
+
+    {!addrs} always returns the {e currently bound} addresses — hand
+    it to {!Client.with_failover} so clients follow replicas across
+    restarts. *)
+
+type t
+
+val start :
+  ?health_interval:float ->
+  ?base_backoff:float ->
+  ?max_backoff:float ->
+  ?ping_timeout:float ->
+  n:int ->
+  (int -> Server.t) ->
+  t
+(** Spawn all [n] replicas (a failing initial spawn stops the already
+    started ones and re-raises), then start the health-check thread.
+    Defaults: [health_interval] 0.1 s, [base_backoff] 0.05 s,
+    [max_backoff] 1 s, [ping_timeout] 1 s.  Raises [Invalid_argument]
+    when [n < 1]. *)
+
+val addrs : t -> Unix.sockaddr list
+(** Currently bound replica addresses (a replica mid-restart may be
+    momentarily absent). *)
+
+val restarts : t -> int
+(** Replicas restarted since {!start} (initial spawns not counted). *)
+
+val stop : t -> unit
+(** Stop the health-check thread, then every replica. *)

@@ -1,0 +1,224 @@
+(* Serving-tier chaos smoke.
+
+   Run by the `serve-chaos` dune alias with all four serve fault sites
+   armed through the environment (CBMF_FAULT_SITES=serve.accept_drop,
+   serve.slow_reply,serve.torn_frame,serve.worker_crash): an open-loop
+   burst of concurrent predict connections against a live server while
+   connections are being dropped post-accept, replies delayed, reply
+   frames torn mid-write and workers "crashing" mid-request.
+
+   Asserted invariants:
+   - every request resolves to a typed outcome (success, Overloaded,
+     Connection_lost) — nothing hangs, nothing escapes as a raw
+     exception, and the harness itself terminating proves the acceptor
+     never wedged;
+   - successful replies are bit-identical to the local engine even
+     while chaos is firing;
+   - counters balance: client-side outcomes partition the request
+     total, the server saw at least every successful predict, and it
+     shed at least every Overloaded the clients observed;
+   - after disarming, a fresh connection gets bit-identical
+     predictions and a clean shutdown works — chaos leaves no residue.
+
+   Exits nonzero on any failure. *)
+
+open Cbmf_linalg
+open Cbmf_basis
+open Cbmf_serve
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "serve-chaos FAIL: %s\n%!" name
+  end
+
+let bits_eq xs ys =
+  Array.length xs = Array.length ys
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       xs ys
+
+(* A structurally valid serving model (same construction the serve unit
+   tests use), independent of the fitting pipeline. *)
+let srng = Cbmf_prob.Rng.create 424242
+
+let g () = Cbmf_prob.Rng.gaussian srng
+
+let synth_model ~dim ~k ~a =
+  let spd n =
+    let m = Mat.init n n (fun _ _ -> g ()) in
+    let gram = Mat.gram m in
+    Mat.add_diag_inplace gram (float_of_int n *. 0.5);
+    Mat.symmetrize_inplace gram;
+    gram
+  in
+  let terms =
+    Array.init a (fun j ->
+        match j mod 4 with
+        | 0 -> Term.Constant
+        | 1 -> Term.Linear (j mod dim)
+        | 2 -> Term.Square (j mod dim)
+        | _ ->
+            let i = j mod (dim - 1) in
+            Term.Cross (i, i + 1))
+  in
+  {
+    Model.input_dim = dim;
+    n_states = k;
+    terms;
+    col_means = Mat.init k a (fun _ _ -> g ());
+    col_scales = Array.init a (fun _ -> 0.5 +. Float.abs (g ()));
+    y_means = Array.init k (fun _ -> g ());
+    y_scale = 1.0 +. Float.abs (g ());
+    mu = Mat.init a k (fun _ _ -> g ());
+    lambda = Array.init a (fun _ -> Float.abs (g ()));
+    r = Mat.init k k (fun _ _ -> g ());
+    sigma0 = 0.05;
+    cov = Array.init k (fun _ -> spd a);
+  }
+
+(* Pull an integer counter out of the hand-rolled stats JSON. *)
+let json_int json key =
+  let needle = Printf.sprintf "%S:" key in
+  let nl = String.length needle and bl = String.length json in
+  let rec find i =
+    if i + nl > bl then None
+    else if String.sub json i nl = needle then begin
+      let stop = ref (i + nl) in
+      while !stop < bl && json.[!stop] >= '0' && json.[!stop] <= '9' do
+        incr stop
+      done;
+      if !stop = i + nl then None
+      else Some (int_of_string (String.sub json (i + nl) (!stop - (i + nl))))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let () =
+  check "fault injection armed via environment" (Cbmf_robust.Inject.armed ());
+
+  let model = synth_model ~dim:6 ~k:4 ~a:10 in
+  check "model validates" (Model.validate model = Ok ());
+  let dim = model.Model.input_dim and k = model.Model.n_states in
+  let n = 24 in
+  let xs = Mat.init n dim (fun _ _ -> g ()) in
+  let states = Array.init n (fun i -> i mod k) in
+  let exp_means, exp_sds = Engine.predict_batch model ~states ~xs in
+
+  let dir = Filename.temp_file "cbmf_serve_chaos" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "chaos.sock" in
+  let registry = Registry.create () in
+  Registry.put registry ~name:"m" model;
+  let server =
+    Server.start
+      ~config:
+        { Server.default_config with workers = 2; queue_cap = 4; timeout = 2.0 }
+      ~registry (Unix.ADDR_UNIX sock)
+  in
+  let addr = Server.addr server in
+
+  (* --- Open-loop chaos load ----------------------------------------- *)
+  let n_threads = 8 and per_thread = 40 in
+  let total = n_threads * per_thread in
+  let lock = Mutex.create () in
+  let ok = ref 0 and shed = ref 0 and lost = ref 0 in
+  let server_said_no = ref 0 and wrong_bits = ref 0 and escaped = ref 0 in
+  let bump r =
+    Mutex.lock lock;
+    incr r;
+    Mutex.unlock lock
+  in
+  let one_request () =
+    match Client.connect ~timeout:2.0 addr with
+    | exception _ -> bump lost (* accept backlog / raced drop *)
+    | c ->
+        Fun.protect
+          ~finally:(fun () -> try Client.close c with _ -> ())
+          (fun () ->
+            match Client.predict_typed c ~name:"m" ~states ~xs with
+            | Ok (rm, rs) ->
+                if bits_eq exp_means rm && bits_eq exp_sds rs then bump ok
+                else bump wrong_bits
+            | Error (Client.Overloaded _) -> bump shed
+            | Error (Client.Connection_lost _) -> bump lost
+            | Error (Client.Server_error _) -> bump server_said_no
+            | Error (Client.Unexpected _) -> bump server_said_no
+            | exception _ -> bump escaped)
+  in
+  let threads =
+    List.init n_threads (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to per_thread do
+              one_request ()
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+
+  (* Every request resolved to a typed outcome; nothing raised, nothing
+     hung (we got here), and chaos demonstrably fired. *)
+  check "outcomes partition the request total"
+    (!ok + !shed + !lost + !server_said_no + !wrong_bits + !escaped = total);
+  check "no raw exceptions escaped the typed client" (!escaped = 0);
+  check "no unexpected server error replies" (!server_said_no = 0);
+  check "successes bit-identical under chaos" (!wrong_bits = 0);
+  check "some requests succeeded" (!ok > 0);
+  check "chaos actually fired (lost connections)" (!lost > 0);
+
+  (* --- Counters balance --------------------------------------------- *)
+  Cbmf_robust.Inject.disarm ();
+  (match Client.connect ~timeout:5.0 addr with
+  | exception e ->
+      check
+        (Printf.sprintf "post-chaos connect (acceptor alive): %s"
+           (Printexc.to_string e))
+        false
+  | c ->
+      (match Client.stats c with
+      | Ok json ->
+          let counter key =
+            match json_int json key with
+            | Some v -> v
+            | None ->
+                check (Printf.sprintf "stats has %S" key) false;
+                0
+          in
+          let srv_predicts = counter "predict" in
+          let srv_sheds = counter "sheds" in
+          check "server saw at least every client success"
+            (srv_predicts >= !ok);
+          check "server shed at least every Overloaded observed"
+            (srv_sheds >= !shed);
+          check "queue depth gauge settled to zero"
+            (counter "queue_depth" = 0);
+          check "queue peak stayed within the cap" (counter "queue_peak" <= 4)
+      | Error e -> check ("post-chaos stats: " ^ e) false);
+      (* Post-chaos predictions are bit-identical to the fault-free
+         engine — the harness left no residue in the serving path. *)
+      (match Client.predict_typed c ~name:"m" ~states ~xs with
+      | Ok (rm, rs) ->
+          check "post-chaos predict bit-identical"
+            (bits_eq exp_means rm && bits_eq exp_sds rs)
+      | Error f ->
+          check ("post-chaos predict: " ^ Client.failure_to_string f) false);
+      Client.shutdown c;
+      Client.close c);
+
+  Server.wait server;
+  check "socket file removed on stop" (not (Sys.file_exists sock));
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+
+  if !failures > 0 then begin
+    Printf.eprintf "serve-chaos: %d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  Printf.printf
+    "serve-chaos: %d requests -> %d ok, %d shed, %d lost; all typed, \
+     successes bit-identical, clean shutdown\n%!"
+    total !ok !shed !lost

@@ -5,8 +5,10 @@
    checks the batch engine against the scalar path and across domain
    counts, then drives a real server over a temp Unix socket — 100
    batched predict requests, a malformed frame, an unknown model, an
-   injection-armed decode failure — and validates the stats-JSON
-   schema.  Exits nonzero on any failure. *)
+   injection-armed decode failure — validates the stats-JSON schema,
+   and hot-reloads the model under concurrent predict load (zero
+   dropped requests, no torn model, generation accounting exact).
+   Exits nonzero on any failure. *)
 
 open Cbmf_linalg
 open Cbmf_serve
@@ -177,6 +179,74 @@ let () =
           "\"p99\""; "\"buckets\""; "\"registry\""; "\"hits\"";
           "\"misses\"" ]
   | Error e -> check ("stats: " ^ e) false);
+
+  (* --- Hot reload under load ---------------------------------------- *)
+  (* A hammer thread predicts continuously on its own connection while
+     this thread atomically swaps the model back and forth.  Zero
+     requests may be dropped, and every reply must be bit-identical to
+     exactly one of the two swapped models — never a torn mix. *)
+  let model_b =
+    { model with Model.y_means = Array.map (fun v -> v +. 1.0) model.Model.y_means }
+  in
+  check "perturbed model validates" (Model.validate model_b = Ok ());
+  let hxs = Mat.init 8 dim (fun i j -> Mat.get xs i j) in
+  let hstates = Array.sub states 0 8 in
+  let exp_a = Engine.predict_batch model ~states:hstates ~xs:hxs in
+  let exp_b = Engine.predict_batch model_b ~states:hstates ~xs:hxs in
+  let matches (em, es) (rm, rs) = bits_eq em rm && bits_eq es rs in
+  let gen_before =
+    match Client.ping c with
+    | Ok gen -> gen
+    | Error f ->
+        check ("ping before reload: " ^ Client.failure_to_string f) false;
+        0
+  in
+  let stop_hammer = ref false in
+  let dropped = ref 0 and torn = ref 0 and served = ref 0 in
+  let hammer =
+    Thread.create
+      (fun () ->
+        let hc = Client.connect (Unix.ADDR_UNIX sock) in
+        while not !stop_hammer do
+          (match Client.predict_typed hc ~name:"lna" ~states:hstates ~xs:hxs with
+          | Ok reply ->
+              incr served;
+              if not (matches exp_a reply || matches exp_b reply) then incr torn
+          | Error _ -> incr dropped);
+          Thread.yield ()
+        done;
+        Client.close hc)
+      ()
+  in
+  let swaps = 6 in
+  let reload_failures = ref 0 in
+  for i = 1 to swaps do
+    let next = if i land 1 = 1 then model_b else model in
+    (match Client.reload_inline c ~name:"lna" ~image:(Snapshot.encode next) with
+    | Ok _ -> ()
+    | Error _ -> incr reload_failures);
+    Thread.delay 0.01
+  done;
+  (* A corrupt image must roll back: typed refusal, old model serves on. *)
+  (match Client.reload_inline c ~name:"lna" ~image:"garbage" with
+  | Error (Client.Server_error { code = Protocol.Bad_snapshot; _ }) -> ()
+  | _ -> check "corrupt reload refused with bad-snapshot" false);
+  Thread.delay 0.02;
+  stop_hammer := true;
+  Thread.join hammer;
+  check "reloads all succeeded" (!reload_failures = 0);
+  check "hammer saw traffic during reloads" (!served > 0);
+  check "zero in-flight requests dropped across reloads" (!dropped = 0);
+  check "no torn model ever served" (!torn = 0);
+  (match Client.ping c with
+  | Ok gen ->
+      check "generation advanced by exactly the successful swaps"
+        (gen = gen_before + swaps)
+  | Error f -> check ("ping after reload: " ^ Client.failure_to_string f) false);
+  (* Back on the original model: replies bit-identical to pre-reload. *)
+  (match Client.predict_typed c ~name:"lna" ~states:hstates ~xs:hxs with
+  | Ok reply -> check "final model bit-identical to original" (matches exp_a reply)
+  | Error f -> check ("post-reload predict: " ^ Client.failure_to_string f) false);
 
   Client.shutdown c;
   Client.close c;

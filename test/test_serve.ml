@@ -502,6 +502,217 @@ let test_protocol_rejects () =
       Protocol.decode_request (String.sub enc 0 (String.length enc - 5)));
   corrupt "garbage reply" (fun () -> Protocol.decode_reply "\x7f\x00")
 
+let test_protocol_roundtrip_v2 () =
+  (* The additive messages: ping/reload/deadline ops and their replies. *)
+  let xs = Mat.init 2 3 (fun i j -> float_of_int ((7 * i) - j)) in
+  let reqs =
+    [ Protocol.Ping;
+      Protocol.Reload { name = "m"; source = Protocol.Path "/tmp/m.snap" };
+      Protocol.Reload { name = "m"; source = Protocol.Inline "img \x00\xff" };
+      Protocol.Predict_deadline
+        { name = "lna"; states = [| 1; 0 |]; xs; deadline_ms = 250 } ]
+  in
+  List.iter
+    (fun req ->
+      check_true "v2 request round-trips"
+        (Protocol.decode_request (Protocol.encode_request req) = req))
+    reqs;
+  let reps =
+    [ Protocol.Pong { generation = 7 };
+      Protocol.Reloaded { generation = 3; n_active = 9; n_states = 4; bytes = 512 };
+      Protocol.Overloaded { queue_depth = 12; retry_after_ms = 50 };
+      Protocol.Error { code = Protocol.Deadline_exceeded; message = "late" } ]
+  in
+  List.iter
+    (fun rep ->
+      check_true "v2 reply round-trips"
+        (Protocol.decode_reply (Protocol.encode_reply rep) = rep))
+    reps
+
+let test_protocol_wire_compat () =
+  (* The pre-deadline/reload wire encoding is frozen.  A request body
+     hand-rolled exactly as the old encoder wrote it must decode to the
+     same value, and the old messages must keep claiming their old
+     opcode/tag bytes — additive versioning means old clients never see
+     a byte they don't know. *)
+  let xs = Mat.init 2 3 (fun i j -> float_of_int ((5 * i) + j) +. 0.25) in
+  let old_predict_body =
+    let w = Codec.writer () in
+    Codec.w_u8 w 2 (* frozen op_predict *);
+    Codec.w_string w "m";
+    Codec.w_u32_array w [| 0; 1 |];
+    Codec.w_mat w xs;
+    Codec.contents w
+  in
+  (match Protocol.decode_request old_predict_body with
+  | Protocol.Predict { name; states; xs = xs' } ->
+      check_true "old predict decodes intact"
+        (name = "m" && states = [| 0; 1 |] && bits_eq xs.Mat.data xs'.Mat.data)
+  | _ -> Alcotest.fail "old predict bytes decoded to something else");
+  let first_byte s = Char.code s.[0] in
+  List.iter
+    (fun (req, op) ->
+      check_int "frozen opcode" op (first_byte (Protocol.encode_request req)))
+    [ (Protocol.Load { name = "m"; source = Protocol.Path "p" }, 1);
+      (Protocol.Predict { name = "m"; states = [| 0 |]; xs = Mat.create 1 1 }, 2);
+      (Protocol.Stats, 3); (Protocol.Shutdown, 4);
+      (* ...and the new ops only ever claim fresh numbers. *)
+      (Protocol.Ping, 5);
+      (Protocol.Reload { name = "m"; source = Protocol.Path "p" }, 6);
+      (Protocol.Predict_deadline
+         { name = "m"; states = [| 0 |]; xs = Mat.create 1 1; deadline_ms = 1 },
+       7) ];
+  List.iter
+    (fun (rep, tag) ->
+      check_int "frozen reply tag" tag (first_byte (Protocol.encode_reply rep)))
+    [ (Protocol.Loaded { n_active = 1; n_states = 1; bytes = 1 }, 1);
+      (Protocol.Predicted { means = [||]; sds = [||] }, 2);
+      (Protocol.Stats_json "{}", 3); (Protocol.Shutting_down, 4);
+      (Protocol.Pong { generation = 0 }, 5);
+      (Protocol.Reloaded { generation = 1; n_active = 1; n_states = 1; bytes = 1 },
+       6);
+      (Protocol.Overloaded { queue_depth = 0; retry_after_ms = 0 }, 7);
+      (Protocol.Error { code = Protocol.Bad_frame; message = "" }, 255) ];
+  (* Frozen error-code bytes, including the new code on a fresh number. *)
+  List.iter
+    (fun (code, n) ->
+      let body = Protocol.encode_reply (Protocol.Error { code; message = "" }) in
+      check_int "frozen error code" n (Char.code body.[1]))
+    [ (Protocol.Bad_frame, 1); (Protocol.Unknown_op, 2);
+      (Protocol.Bad_snapshot, 3); (Protocol.Model_not_found, 4);
+      (Protocol.Bad_request, 5); (Protocol.Internal, 6);
+      (Protocol.Deadline_exceeded, 7) ]
+
+(* --- Registry generations -------------------------------------------- *)
+
+let test_registry_reload_generation () =
+  with_temp_dir (fun dir ->
+      let m1 = synth_model ~dim:5 ~k:3 ~a:8 () in
+      let m2 = synth_model ~dim:6 ~k:2 ~a:7 () in
+      let reg = Registry.create () in
+      check_int "unknown name is generation 0" 0
+        (Registry.generation reg ~name:"x");
+      Registry.put reg ~name:"x" m1;
+      check_int "put is generation 1" 1 (Registry.generation reg ~name:"x");
+      let gen = Registry.reload reg ~name:"x" m2 in
+      check_int "reload bumps to 2" 2 gen;
+      check_true "new model visible immediately"
+        (Model.equal (Registry.get reg ~name:"x") m2);
+      (* A corrupt snapshot must not touch the slot: typed fault out,
+         old model keeps serving, generation unchanged. *)
+      let bad = Filename.concat dir "bad.snap" in
+      let oc = open_out_bin bad in
+      output_string oc "not a snapshot";
+      close_out oc;
+      expect_bad "corrupt reload_path" (fun () ->
+          Registry.reload_path reg ~name:"x" bad);
+      check_true "old model still serving after failed reload"
+        (Model.equal (Registry.get reg ~name:"x") m2);
+      check_int "generation unchanged by failed reload" 2
+        (Registry.generation reg ~name:"x");
+      (* A good snapshot swaps in and re-binds the slot to the path. *)
+      let good = Filename.concat dir "good.snap" in
+      Snapshot.save ~path:good m1;
+      let m', gen = Registry.reload_path reg ~name:"x" good in
+      check_int "path reload bumps to 3" 3 gen;
+      check_true "decoded model returned" (Model.equal m' m1);
+      check_true "swapped model visible"
+        (Model.equal (Registry.get reg ~name:"x") m1);
+      let s = Registry.stats reg in
+      check_int "two successful reloads counted" 2 s.Registry.reloads;
+      check_int "global generation counts every swap" 3 s.Registry.generation)
+
+let test_registry_concurrent () =
+  (* Parallel readers, a reload writer and a put/remove churner on one
+     registry: no reader may ever observe a torn model (anything other
+     than bit-exactly one of the two swapped values), and the final
+     accounting must balance. *)
+  let m_a = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let m_b = synth_model ~dim:7 ~k:2 ~a:6 () in
+  let reg = Registry.create () in
+  Registry.put reg ~name:"hot" m_a;
+  let swaps = 200 in
+  let writer_done = ref false in
+  let torn = ref 0 in
+  let writer =
+    Thread.create
+      (fun () ->
+        for i = 1 to swaps do
+          ignore (Registry.reload reg ~name:"hot" (if i land 1 = 0 then m_a else m_b))
+        done;
+        writer_done := true)
+      ()
+  in
+  let readers =
+    List.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            let last_gen = ref 0 in
+            while not !writer_done do
+              (match Registry.find reg ~name:"hot" with
+              | Some m ->
+                  if not (Model.equal m m_a || Model.equal m m_b) then incr torn
+              | None -> incr torn);
+              (* The per-slot generation is monotone under swaps. *)
+              let g = Registry.generation reg ~name:"hot" in
+              if g < !last_gen then incr torn;
+              last_gen := g;
+              Thread.yield ()
+            done)
+          ())
+  in
+  let churner =
+    Thread.create
+      (fun () ->
+        for i = 0 to 99 do
+          let name = Printf.sprintf "tmp%d" (i mod 7) in
+          Registry.put reg ~name m_a;
+          if i mod 3 = 0 then Registry.remove reg ~name
+        done)
+      ()
+  in
+  Thread.join writer;
+  List.iter Thread.join readers;
+  Thread.join churner;
+  check_int "no torn reads" 0 !torn;
+  check_int "slot generation = put + every swap" (swaps + 1)
+    (Registry.generation reg ~name:"hot");
+  let s = Registry.stats reg in
+  check_int "every swap counted as a reload" swaps s.Registry.reloads;
+  (* Resident accounting balances: stats vs a fresh walk of the slots. *)
+  let names = Registry.names reg in
+  let bytes =
+    List.fold_left
+      (fun acc name ->
+        match Registry.find reg ~name with
+        | Some m -> acc + Model.byte_size m
+        | None -> acc)
+      0 names
+  in
+  check_int "resident model count balances" (List.length names)
+    s.Registry.resident_models;
+  check_int "resident byte accounting balances" bytes s.Registry.resident_bytes
+
+(* --- Engine deadlines ------------------------------------------------- *)
+
+let test_engine_deadline () =
+  let m = synth_model ~dim:6 ~k:4 ~a:10 () in
+  let n = 150 in
+  let xs = Mat.init n m.Model.input_dim (fun _ _ -> g ()) in
+  let states = Array.init n (fun i -> i mod m.Model.n_states) in
+  (* A generous budget changes nothing, bit for bit. *)
+  let m0, s0 = Engine.predict_batch m ~states ~xs in
+  let m1, s1 =
+    Engine.predict_batch ~deadline:(Unix.gettimeofday () +. 60.0) m ~states ~xs
+  in
+  check_true "generous deadline bit-identical" (bits_eq m0 m1 && bits_eq s0 s1);
+  (* An already-expired budget raises the typed fault, site-tagged. *)
+  match Engine.predict_batch ~deadline:(Unix.gettimeofday () -. 1.0) m ~states ~xs with
+  | _ -> Alcotest.fail "expired deadline completed"
+  | exception Fault.Error (Fault.Early_stop { site; _ }) ->
+      check_true "fault carries the serve.deadline site"
+        (String.equal site Engine.deadline_site)
+
 (* --- Client/server loopback over a socketpair ------------------------ *)
 
 let with_loopback registry f =
@@ -585,6 +796,376 @@ let test_loopback_errors () =
       | Error e -> Alcotest.failf "stats: %s" e);
       Client.shutdown c)
 
+let test_loopback_wire_compat () =
+  (* A client built before ping/reload/deadlines existed: its predict
+     frames are hand-rolled with the frozen pre-extension encoding and
+     must keep getting byte-correct predict replies. *)
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let registry = Registry.create () in
+  Registry.put registry ~name:"m" m;
+  with_loopback registry (fun c ->
+      let n = 9 in
+      let xs = Mat.init n m.Model.input_dim (fun _ _ -> g ()) in
+      let states = Array.init n (fun i -> i mod m.Model.n_states) in
+      let lm, ls = Engine.predict_batch m ~states ~xs in
+      let old_body =
+        let w = Codec.writer () in
+        Codec.w_u8 w 2 (* frozen op_predict *);
+        Codec.w_string w "m";
+        Codec.w_u32_array w states;
+        Codec.w_mat w xs;
+        Codec.contents w
+      in
+      (match Client.send_raw c old_body with
+      | Protocol.Predicted { means; sds } ->
+          check_true "old-wire predict answered bit-identically"
+            (bits_eq lm means && bits_eq ls sds)
+      | _ -> Alcotest.fail "old-wire predict got a non-predict reply");
+      Client.shutdown c)
+
+let test_loopback_deadline () =
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let registry = Registry.create () in
+  Registry.put registry ~name:"m" m;
+  with_loopback registry (fun c ->
+      let n = 20 in
+      let xs = Mat.init n m.Model.input_dim (fun _ _ -> g ()) in
+      let states = Array.init n (fun i -> i mod m.Model.n_states) in
+      let lm, ls = Engine.predict_batch m ~states ~xs in
+      (* Generous client budget: identical answer. *)
+      (match Client.predict_deadline c ~name:"m" ~states ~xs ~deadline_ms:60_000 with
+      | Ok (rm, rs) ->
+          check_true "deadline predict bit-identical" (bits_eq lm rm && bits_eq ls rs)
+      | Error f -> Alcotest.failf "deadline predict: %s" (Client.failure_to_string f));
+      (* Zero budget: typed Deadline_exceeded, not a hang or a hangup. *)
+      (match Client.predict_deadline c ~name:"m" ~states ~xs ~deadline_ms:0 with
+      | Error (Client.Server_error { code = Protocol.Deadline_exceeded; _ }) -> ()
+      | Ok _ -> Alcotest.fail "zero deadline succeeded"
+      | Error f ->
+          Alcotest.failf "zero deadline: %s" (Client.failure_to_string f));
+      (* The connection survives a deadline miss. *)
+      (match Client.predict_typed c ~name:"m" ~states ~xs with
+      | Ok (rm, rs) ->
+          check_true "connection healthy after deadline miss"
+            (bits_eq lm rm && bits_eq ls rs)
+      | Error f -> Alcotest.failf "after miss: %s" (Client.failure_to_string f));
+      Client.shutdown c)
+
+let test_loopback_reload () =
+  (* Hot swap over the wire: predicts before and after must match the
+     respective models bitwise, the generation must advance, and a
+     corrupt image must leave the old model serving. *)
+  let m1 = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let m2 = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let registry = Registry.create () in
+  Registry.put registry ~name:"m" m1;
+  with_loopback registry (fun c ->
+      let n = 11 in
+      let xs = Mat.init n m1.Model.input_dim (fun _ _ -> g ()) in
+      let states = Array.init n (fun i -> i mod m1.Model.n_states) in
+      let expect model tag =
+        let lm, ls = Engine.predict_batch model ~states ~xs in
+        match Client.predict_typed c ~name:"m" ~states ~xs with
+        | Ok (rm, rs) ->
+            check_true tag (bits_eq lm rm && bits_eq ls rs)
+        | Error f -> Alcotest.failf "%s: %s" tag (Client.failure_to_string f)
+      in
+      expect m1 "serving m1 before reload";
+      (match Client.ping c with
+      | Ok gen -> check_int "generation before reload" 1 gen
+      | Error f -> Alcotest.failf "ping: %s" (Client.failure_to_string f));
+      (match Client.reload_inline c ~name:"m" ~image:(Snapshot.encode m2) with
+      | Ok (generation, n_active, n_states, _) ->
+          check_int "slot generation bumped" 2 generation;
+          check_true "reloaded shape"
+            (n_active = Model.n_active m2 && n_states = m2.Model.n_states)
+      | Error f -> Alcotest.failf "reload: %s" (Client.failure_to_string f));
+      expect m2 "serving m2 after reload";
+      (* Bad image: typed error, m2 keeps serving, generation frozen. *)
+      (match Client.reload_inline c ~name:"m" ~image:"garbage" with
+      | Error (Client.Server_error { code = Protocol.Bad_snapshot; _ }) -> ()
+      | Ok _ -> Alcotest.fail "corrupt reload accepted"
+      | Error f -> Alcotest.failf "corrupt reload: %s" (Client.failure_to_string f));
+      expect m2 "old model survives failed reload";
+      (match Client.ping c with
+      | Ok gen -> check_int "generation frozen by failed reload" 2 gen
+      | Error f -> Alcotest.failf "ping: %s" (Client.failure_to_string f));
+      Client.shutdown c)
+
+let test_client_connection_lost () =
+  (* Every transport death folds into the typed retryable constructor —
+     never a raw exception out of the _typed entry points. *)
+  let xs = Mat.create 1 4 in
+  (* Peer closed before the request: the write or the reply read dies. *)
+  let srv_fd, cl_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close srv_fd;
+  let c = Client.of_fd cl_fd in
+  (match Client.predict_typed c ~name:"m" ~states:[| 0 |] ~xs with
+  | Error (Client.Connection_lost _) -> ()
+  | Ok _ -> Alcotest.fail "predict against closed peer succeeded"
+  | Error f -> Alcotest.failf "expected Connection_lost, got %s"
+      (Client.failure_to_string f));
+  Client.close c;
+  (* Peer hangs up after reading the request (a crashed worker). *)
+  let srv_fd, cl_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let th =
+    Thread.create
+      (fun () ->
+        (try ignore (Protocol.read_frame srv_fd) with _ -> ());
+        Unix.close srv_fd)
+      ()
+  in
+  let c = Client.of_fd cl_fd in
+  (match Client.predict_typed c ~name:"m" ~states:[| 0 |] ~xs with
+  | Error (Client.Connection_lost _) -> ()
+  | Ok _ -> Alcotest.fail "predict against hangup succeeded"
+  | Error f -> Alcotest.failf "expected Connection_lost, got %s"
+      (Client.failure_to_string f));
+  Thread.join th;
+  Client.close c;
+  check_true "retryable taxonomy"
+    (Client.retryable (Client.Connection_lost "x")
+    && Client.retryable (Client.Overloaded { queue_depth = 1; retry_after_ms = 1 })
+    && (not
+          (Client.retryable
+             (Client.Server_error
+                { code = Protocol.Model_not_found; message = "" })))
+    && not (Client.retryable (Client.Unexpected "x")))
+
+(* --- Full server: admission control, drain, failover ------------------ *)
+
+let with_server_dir f =
+  with_temp_dir (fun dir -> f dir)
+
+let start_server ?(config = Server.default_config) ~dir ~name model =
+  let registry = Registry.create () in
+  Registry.put registry ~name model;
+  let path = Filename.concat dir (Printf.sprintf "srv-%d.sock" (Unix.getpid ())) in
+  Server.start ~config ~registry (Unix.ADDR_UNIX path)
+
+let test_server_shed_overload () =
+  let m = synth_model ~dim:4 ~k:2 ~a:5 () in
+  with_server_dir (fun dir ->
+      let config =
+        { Server.default_config with
+          workers = 1;
+          queue_cap = 1;
+          timeout = 5.0;
+          retry_after_ms = 17;
+        }
+      in
+      let srv = start_server ~config ~dir ~name:"m" m in
+      let addr = Server.addr srv in
+      let conn () =
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd addr;
+        fd
+      in
+      (* Wedge the single worker with an idle connection, then fill the
+         one queue slot with another; the third arrival must be shed
+         with a typed Overloaded reply — the acceptor never blocks. *)
+      let c0 = conn () in
+      Thread.delay 0.05;
+      let c1 = conn () in
+      Thread.delay 0.05;
+      let c2 = conn () in
+      (match Protocol.decode_reply (Protocol.read_frame c2) with
+      | Protocol.Overloaded { queue_depth; retry_after_ms } ->
+          check_int "shed reply reports the queue depth" 1 queue_depth;
+          check_int "shed reply carries the retry hint" 17 retry_after_ms
+      | _ -> Alcotest.fail "third connection was not shed");
+      (* The shed socket is closed server-side: EOF next. *)
+      (match Protocol.read_frame c2 with
+      | _ -> Alcotest.fail "shed connection stayed open"
+      | exception Protocol.Closed -> ());
+      Unix.close c2;
+      check_true "shed counted" (Stats.sheds (Server.stats srv) >= 1);
+      (* Accepted connections still serve normally. *)
+      let cl = Client.of_fd c0 in
+      (match Client.predict_typed cl ~name:"m" ~states:[| 0 |]
+               ~xs:(Mat.init 1 4 (fun _ _ -> g ()))
+       with
+      | Ok _ -> ()
+      | Error f -> Alcotest.failf "wedged conn predict: %s"
+          (Client.failure_to_string f));
+      Client.close cl;
+      Unix.close c1;
+      Server.stop srv)
+
+let test_server_graceful_drain () =
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  with_server_dir (fun dir ->
+      let config =
+        { Server.default_config with workers = 1; drain_timeout = 2.0 }
+      in
+      let srv = start_server ~config ~dir ~name:"m" m in
+      let addr = Server.addr srv in
+      let n = 40 in
+      let xs = Mat.init n m.Model.input_dim (fun _ _ -> g ()) in
+      let states = Array.init n (fun i -> i mod m.Model.n_states) in
+      let lm, ls = Engine.predict_batch m ~states ~xs in
+      (* Slow the reply down so the stop request provably lands while
+         the request is in flight. *)
+      Inject.arm ~seed:3 ~prob:1.0 ~sites:[ "serve.slow_reply" ] ();
+      Fun.protect ~finally:Inject.disarm (fun () ->
+          let c = Client.connect addr in
+          let result = ref (Error (Client.Unexpected "not run")) in
+          let th =
+            Thread.create
+              (fun () -> result := Client.predict_typed c ~name:"m" ~states ~xs)
+              ()
+          in
+          Thread.delay 0.005;
+          Server.request_stop srv;
+          Thread.join th;
+          (match !result with
+          | Ok (rm, rs) ->
+              check_true "in-flight predict survived stop bit-identically"
+                (bits_eq lm rm && bits_eq ls rs)
+          | Error f ->
+              Alcotest.failf "in-flight predict dropped by stop: %s"
+                (Client.failure_to_string f));
+          Client.close c;
+          Server.wait srv))
+
+let test_server_drain_cutoff () =
+  (* A connection that is idle (wedging its worker) must not block
+     shutdown forever: past drain_timeout it is cut off cleanly and
+     stop returns. *)
+  let m = synth_model ~dim:4 ~k:2 ~a:5 () in
+  with_server_dir (fun dir ->
+      let config =
+        { Server.default_config with workers = 1; drain_timeout = 0.2 }
+      in
+      let srv = start_server ~config ~dir ~name:"m" m in
+      let addr = Server.addr srv in
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd addr;
+      Thread.delay 0.05 (* let the worker pick it up *);
+      let t0 = Unix.gettimeofday () in
+      Server.stop srv;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      check_true "stop bounded by the drain window" (elapsed < 2.0);
+      (* The wedged client sees a clean close, not garbage. *)
+      (match Protocol.read_frame fd with
+      | _ -> Alcotest.fail "cut-off connection produced a frame"
+      | exception Protocol.Closed -> ()
+      | exception Codec.Corrupt _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      Unix.close fd)
+
+let test_with_failover () =
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  with_server_dir (fun dir ->
+      let srv = start_server ~dir ~name:"m" m in
+      let live = Server.addr srv in
+      let dead = Unix.ADDR_UNIX (Filename.concat dir "nobody-home.sock") in
+      let n = 7 in
+      let xs = Mat.init n m.Model.input_dim (fun _ _ -> g ()) in
+      let states = Array.init n (fun i -> i mod m.Model.n_states) in
+      let lm, ls = Engine.predict_batch m ~states ~xs in
+      (* First replica dead: failover lands on the second. *)
+      (match
+         Client.with_failover ~base_backoff:0.001 [ dead; live ] (fun c ->
+             Client.predict_typed c ~name:"m" ~states ~xs)
+       with
+      | Ok (rm, rs) ->
+          check_true "failover answer bit-identical" (bits_eq lm rm && bits_eq ls rs)
+      | Error f -> Alcotest.failf "failover: %s" (Client.failure_to_string f));
+      (* Typed server answers are final — no retry storm on user error. *)
+      (match
+         Client.with_failover ~base_backoff:0.001 [ live ] (fun c ->
+             Client.predict_typed c ~name:"nope" ~states ~xs)
+       with
+      | Error (Client.Server_error { code = Protocol.Model_not_found; _ }) -> ()
+      | Ok _ -> Alcotest.fail "predict of unknown model succeeded"
+      | Error f -> Alcotest.failf "expected Model_not_found: %s"
+          (Client.failure_to_string f));
+      (* All replicas dead: attempts exhaust into the last failure. *)
+      (match
+         Client.with_failover ~attempts:3 ~base_backoff:0.001 [ dead ] (fun c ->
+             Client.predict_typed c ~name:"m" ~states ~xs)
+       with
+      | Error (Client.Connection_lost _) -> ()
+      | Ok _ -> Alcotest.fail "dead replica answered"
+      | Error f -> Alcotest.failf "expected Connection_lost: %s"
+          (Client.failure_to_string f));
+      Server.stop srv)
+
+let test_supervisor_failover () =
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  with_server_dir (fun dir ->
+      let make index =
+        let registry = Registry.create () in
+        Registry.put registry ~name:"m" m;
+        let path = Filename.concat dir (Printf.sprintf "repl-%d.sock" index) in
+        Server.start
+          ~config:{ Server.default_config with workers = 2 }
+          ~registry (Unix.ADDR_UNIX path)
+      in
+      let sup =
+        Supervisor.start ~health_interval:0.02 ~base_backoff:0.02
+          ~ping_timeout:0.3 ~n:2 make
+      in
+      Fun.protect ~finally:(fun () -> Supervisor.stop sup) (fun () ->
+          let addrs = Supervisor.addrs sup in
+          check_int "two replicas up" 2 (List.length addrs);
+          let n = 7 in
+          let xs = Mat.init n m.Model.input_dim (fun _ _ -> g ()) in
+          let states = Array.init n (fun i -> i mod m.Model.n_states) in
+          let lm, ls = Engine.predict_batch m ~states ~xs in
+          let check_serving tag =
+            match
+              Client.with_failover ~base_backoff:0.005 ~timeout:0.5
+                (Supervisor.addrs sup)
+                (fun c -> Client.predict_typed c ~name:"m" ~states ~xs)
+            with
+            | Ok (rm, rs) -> check_true tag (bits_eq lm rm && bits_eq ls rs)
+            | Error f -> Alcotest.failf "%s: %s" tag (Client.failure_to_string f)
+          in
+          check_serving "both replicas serving";
+          (* Kill replica 0 out from under the supervisor. *)
+          let victim = List.hd addrs in
+          let c = Client.connect victim in
+          Client.shutdown c;
+          Client.close c;
+          (* The fleet keeps answering throughout via failover... *)
+          check_serving "serving through the crash";
+          (* ...and the supervisor restarts the victim. *)
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          let rec await () =
+            if Supervisor.restarts sup >= 1 then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail "supervisor never restarted the dead replica"
+            else begin
+              Thread.delay 0.02;
+              await ()
+            end
+          in
+          await ();
+          (* The restarted replica itself answers again (poll: it may
+             still be mid-spawn for a moment). *)
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          let rec await_serving () =
+            let answered =
+              match
+                Client.with_failover ~attempts:2 ~base_backoff:0.005
+                  ~timeout:0.5 [ victim ]
+                  (fun c -> Client.predict_typed c ~name:"m" ~states ~xs)
+              with
+              | Ok (rm, rs) -> bits_eq lm rm && bits_eq ls rs
+              | Error _ -> false
+            in
+            if answered then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail "restarted replica never answered"
+            else begin
+              Thread.delay 0.05;
+              await_serving ()
+            end
+          in
+          await_serving ()))
+
 (* --- Fault taxonomy integration -------------------------------------- *)
 
 let test_bad_snapshot_fault () =
@@ -626,17 +1207,31 @@ let suite =
     ( "serve.registry",
       [ case "put/get/find/remove/names" test_registry_basics;
         case "lazy load + LRU demotion" test_registry_lazy_and_lru;
-        case "path-less slots dropped on eviction" test_registry_put_only_eviction ] );
+        case "path-less slots dropped on eviction" test_registry_put_only_eviction;
+        case "generation swap + rollback on bad image" test_registry_reload_generation;
+        case "parallel get/put/reload: no torn reads" test_registry_concurrent ] );
     ( "serve.engine",
       [ case "batch = scalar bitwise across shapes" test_engine_matches_scalar;
         case "batch of one = Model.predict" test_engine_batch_of_one;
         case "1/2/4 domains bit-identical" test_engine_domain_invariance;
-        case "invalid_arg validation" test_engine_invalid_args ] );
+        case "invalid_arg validation" test_engine_invalid_args;
+        case "deadline: typed fault, else bit-identical" test_engine_deadline ] );
     ( "serve.protocol",
       [ case "request/reply round-trips" test_protocol_roundtrip;
+        case "v2 messages round-trip" test_protocol_roundtrip_v2;
+        case "frozen wire bytes (additive versioning)" test_protocol_wire_compat;
         case "malformed bodies rejected" test_protocol_rejects ] );
     ( "serve.server",
       [ case "socketpair loopback serving" test_loopback_serving;
-        case "typed errors, connection survives" test_loopback_errors ] );
+        case "typed errors, connection survives" test_loopback_errors;
+        case "pre-extension clients keep working" test_loopback_wire_compat;
+        case "deadline replies, connection survives" test_loopback_deadline;
+        case "hot reload over the wire" test_loopback_reload;
+        case "typed Connection_lost" test_client_connection_lost;
+        case "overload sheds with typed reply" test_server_shed_overload;
+        case "in-flight request survives stop" test_server_graceful_drain;
+        case "drain cutoff bounds stop" test_server_drain_cutoff;
+        case "with_failover across replicas" test_with_failover;
+        case "supervisor restarts a dead replica" test_supervisor_failover ] );
     ( "serve.fault",
       [ case "Bad_snapshot taxonomy integration" test_bad_snapshot_fault ] ) ]
