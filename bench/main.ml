@@ -1382,6 +1382,217 @@ let run_synth ~smoke =
     Format.fprintf fmt "  smoke OK: schema valid, both paths present@."
   end
 
+(* --- Active-learning loop: incremental update cost + parity -------- *)
+
+(* Times the streaming rank-one updater against a from-scratch
+   factorization and writes BENCH_active.json: per cell, the full
+   refit cost ([Update.create], a fresh aK x aK Cholesky), the
+   per-sample append cost ([Update.append], one rank-one update), the
+   speedup, and the mu/NLML parity of the appended state against both
+   a fresh updater and the [`Primal] posterior on the grown dataset;
+   plus the acquisition loop's FNV hash at 1/2/4 domains.  [smoke]
+   shrinks the sizes, re-reads the JSON, validates the schema and
+   fails hard unless incremental < refit, parity <= 1e-8 and the loop
+   hashes match across domain counts.  The [active-bench-smoke] dune
+   alias runs this under [dune runtest]. *)
+let run_active ~smoke =
+  section
+    (if smoke then "active (smoke: update cost + parity + loop hash)"
+     else "active (streaming update vs refit, loop domain matrix)");
+  let module Pool = Cbmf_parallel.Pool in
+  let module Synthetic = Cbmf_circuit.Synthetic in
+  let module Update = Cbmf_active.Update in
+  let module Sim = Cbmf_active.Sim in
+  let module Loop = Cbmf_active.Loop in
+  let open Cbmf_linalg in
+  let open Cbmf_model in
+  let reps = if smoke then 3 else 5 in
+  let time_min f =
+    f ();
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let cells = if smoke then [ (8, 21, 10) ] else [ (32, 41, 20); (64, 41, 20) ] in
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "{\n  \"smoke\": %b,\n  \"cells\": [\n" smoke;
+  let n_base = 10 and extra = 4 in
+  List.iteri
+    (fun ci (k, m, d) ->
+      let spec =
+        { Synthetic.default_spec with
+          Synthetic.k; m; d;
+          active_per_state = 4;
+          noise_sigma = 0.05;
+          seed = 3 + ci }
+      in
+      let truth = Synthetic.truth spec in
+      let full = Synthetic.dataset truth ~n_per_state:(n_base + extra) in
+      let base = Dataset.truncate_samples full ~n:n_base in
+      let active = Array.init m Fun.id in
+      let prior =
+        Cbmf_core.Prior.create ~lambda:(Array.make m 1.0)
+          ~r:(Cbmf_core.Prior.r_of_r0 ~n_states:k ~r0:0.5)
+          ~sigma0:0.1
+      in
+      (* full refit = fresh aK x aK assembly + factorization *)
+      let refit_s = time_min (fun () -> ignore (Update.create base prior ~active)) in
+      (* per-sample append: k rank-one updates per round, averaged *)
+      let append_rounds = extra in
+      let append_s =
+        let upd = ref (Update.create base prior ~active) in
+        let t =
+          time_min (fun () ->
+              upd := Update.create base prior ~active;
+              for i = n_base to n_base + append_rounds - 1 do
+                for s = 0 to k - 1 do
+                  Update.append !upd ~state:s
+                    ~row:(Mat.row (Dataset.state_design full s) i)
+                    ~y:(Vec.get (Dataset.state_response full s) i)
+                done
+              done)
+        in
+        (t -. refit_s) /. float_of_int (append_rounds * k)
+      in
+      (* parity of the appended state on the grown dataset *)
+      let upd = Update.create base prior ~active in
+      for i = n_base to n_base + extra - 1 do
+        for s = 0 to k - 1 do
+          Update.append upd ~state:s
+            ~row:(Mat.row (Dataset.state_design full s) i)
+            ~y:(Vec.get (Dataset.state_response full s) i)
+        done
+      done;
+      let reference =
+        Cbmf_core.Posterior.compute ~need_sigma:false ~path:`Primal full prior
+          ~active
+      in
+      let scale = Mat.max_abs reference.Cbmf_core.Posterior.mu in
+      let parity_mu =
+        Mat.max_abs (Mat.sub reference.Cbmf_core.Posterior.mu (Update.mean upd))
+        /. (1.0 +. scale)
+      in
+      let parity_nlml =
+        abs_float (reference.Cbmf_core.Posterior.nlml -. Update.nlml upd)
+        /. (1.0 +. abs_float reference.Cbmf_core.Posterior.nlml)
+      in
+      let parity_ok = parity_mu <= 1e-8 && parity_nlml <= 1e-8 in
+      let speedup = refit_s /. Float.max append_s 1e-12 in
+      Format.fprintf fmt
+        "  k=%-3d m=%-3d aK=%-5d refit %8.2f ms  append %8.4f ms/sample  \
+         speedup %7.1fx  parity(mu %.1e, nlml %.1e) %s@."
+        k m (m * k) (1e3 *. refit_s) (1e3 *. append_s) speedup parity_mu
+        parity_nlml
+        (if parity_ok then "ok" else "FAIL");
+      Printf.bprintf buf
+        "    { \"k\": %d, \"m\": %d, \"a\": %d, \"n_base\": %d, \"refit_s\": \
+         %.6f, \"append_s\": %.8f, \"speedup\": %.1f, \"incremental_faster\": \
+         %b, \"parity_mu\": %.3e, \"parity_nlml\": %.3e, \"parity_ok\": %b }%s\n"
+        k m m n_base refit_s append_s speedup
+        (append_s < refit_s)
+        parity_mu parity_nlml parity_ok
+        (if ci = List.length cells - 1 then "" else ","))
+    cells;
+  Buffer.add_string buf "  ],\n";
+  (* acquisition-loop hash across domain counts *)
+  let loop_spec =
+    { Synthetic.default_spec with
+      Synthetic.k = (if smoke then 4 else 8);
+      m = 11; d = 7;
+      active_per_state = 4;
+      noise_sigma = 0.05;
+      seed = 44 }
+  in
+  let loop_config =
+    { Loop.default_config with
+      Loop.n0 = 4;
+      rounds = (if smoke then 4 else 8);
+      pool_size = 8;
+      resync_every = 3;
+      em = { Cbmf_core.Em.default_config with max_iter = 6; tol = 1e-3 } }
+  in
+  let loop_prior0 =
+    Cbmf_core.Prior.create
+      ~lambda:(Array.make loop_spec.Synthetic.m 1.0)
+      ~r:
+        (Cbmf_core.Prior.r_of_r0 ~n_states:loop_spec.Synthetic.k ~r0:0.5)
+      ~sigma0:0.2
+  in
+  let loop_hash () =
+    let res =
+      Loop.run ~config:loop_config
+        ~sim:(Sim.of_synthetic (Synthetic.truth loop_spec))
+        ~prior0:loop_prior0 ()
+    in
+    let acc =
+      Cbmf_testkit.Seeded.hash_floats_acc Cbmf_testkit.Seeded.fnv_offset
+        res.Loop.coeffs.Mat.data
+    in
+    Cbmf_testkit.Seeded.hash_floats_acc acc
+      (Array.map (fun l -> l.Loop.nlml) res.Loop.logs)
+  in
+  let hashes =
+    List.map
+      (fun n ->
+        Pool.set_default_size n;
+        let h = loop_hash () in
+        Pool.set_default_size (Pool.env_domains ());
+        (n, h))
+      [ 1; 2; 4 ]
+  in
+  let h1 = snd (List.hd hashes) in
+  let invariant = List.for_all (fun (_, h) -> Int64.equal h h1) hashes in
+  Format.fprintf fmt "  loop hash at 1/2/4 domains: %s@."
+    (if invariant then "bit-identical" else "MISMATCH");
+  Printf.bprintf buf "  \"loop\": { \"k\": %d, \"m\": %d, \"rounds\": %d, %s, \
+                      \"domain_invariant\": %b }\n"
+    loop_spec.Synthetic.k loop_spec.Synthetic.m loop_config.Loop.rounds
+    (String.concat ", "
+       (List.map
+          (fun (n, h) -> Printf.sprintf "\"hash_%d\": \"%Lx\"" n h)
+          hashes))
+    invariant;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_active.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Format.fprintf fmt "  [wrote BENCH_active.json]@.";
+  if smoke then begin
+    let ic = open_in "BENCH_active.json" in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let has needle =
+      let nl = String.length needle and bl = String.length body in
+      let rec scan i =
+        if i + nl > bl then false
+        else if String.sub body i nl = needle then true
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let required =
+      [ "\"smoke\""; "\"cells\""; "\"k\""; "\"m\""; "\"a\""; "\"n_base\"";
+        "\"refit_s\""; "\"append_s\""; "\"speedup\"";
+        "\"incremental_faster\": true"; "\"parity_mu\""; "\"parity_nlml\"";
+        "\"parity_ok\": true"; "\"loop\""; "\"hash_1\""; "\"hash_2\"";
+        "\"hash_4\""; "\"domain_invariant\": true" ]
+    in
+    let missing = List.filter (fun key -> not (has key)) required in
+    if missing <> [] then begin
+      Format.fprintf fmt "  SMOKE FAIL: missing %s@."
+        (String.concat ", " missing);
+      exit 1
+    end;
+    Format.fprintf fmt
+      "  smoke OK: schema valid, incremental < refit, parity <= 1e-8, loop \
+       domain-invariant@."
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------- *)
 
 let micro_dataset () =
@@ -1489,5 +1700,6 @@ let () =
   if want "serve_load" then run_serve_load ~smoke;
   if want "frontend" then run_frontend ~smoke;
   if want "synth" then run_synth ~smoke;
+  if want "active" then run_active ~smoke;
   Format.fprintf fmt "@.[bench complete in %.1f s wall clock]@."
     (Unix.gettimeofday () -. t0)

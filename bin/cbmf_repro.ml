@@ -39,6 +39,24 @@ let run_ablation ~seed ~n_test name poi n_per_state =
   let a = Ablation.run data ~poi:poi_idx ~n_per_state in
   Format.fprintf fmt "%a@." Ablation.pp a
 
+(* Active-learning sample-efficiency curve on a synthetic ground truth:
+   variance acquisition vs the fixed grid at matched simulator budgets. *)
+let run_budget ~k ~m ~d ~active ~rho ~noise ~seed ~pool_size =
+  let spec =
+    {
+      Cbmf_circuit.Synthetic.default_spec with
+      Cbmf_circuit.Synthetic.k;
+      m;
+      d;
+      active_per_state = active;
+      rho;
+      noise_sigma = noise;
+      seed;
+    }
+  in
+  let r = Budget.run ~pool_size spec in
+  Format.fprintf fmt "%a@." Budget.pp_result r
+
 (* --- cmdliner plumbing --- *)
 
 let seed_t =
@@ -87,6 +105,31 @@ let ablation_cmd =
       const (fun seed n_test name poi n -> run_ablation ~seed ~n_test name poi n)
       $ seed_t $ n_test_t $ circuit_pos $ poi_t $ n_train_t)
 
+let budget_cmd =
+  let doc =
+    "Active-learning accuracy-vs-samples curve (synthetic ground truth)."
+  in
+  let k_t = Arg.(value & opt int 32 & info [ "k" ] ~doc:"States K.") in
+  let m_t = Arg.(value & opt int 21 & info [ "m" ] ~doc:"Dictionary size M.") in
+  let d_t = Arg.(value & opt int 10 & info [ "d" ] ~doc:"Device variables.") in
+  let active_t =
+    Arg.(value & opt int 4 & info [ "active" ] ~doc:"Planted support size.")
+  in
+  let rho_t =
+    Arg.(value & opt float 0.9 & info [ "rho" ] ~doc:"Cross-state correlation.")
+  in
+  let noise_t =
+    Arg.(value & opt float 0.1 & info [ "noise" ] ~doc:"Observation noise sd.")
+  in
+  let pool_t =
+    Arg.(value & opt int 24 & info [ "pool" ] ~doc:"Candidates per round.")
+  in
+  Cmd.v (Cmd.info "budget" ~doc)
+    Term.(
+      const (fun seed k m d active rho noise pool_size ->
+          run_budget ~k ~m ~d ~active ~rho ~noise ~seed ~pool_size)
+      $ seed_t $ k_t $ m_t $ d_t $ active_t $ rho_t $ noise_t $ pool_t)
+
 let all_cmd =
   let doc = "Run every table and figure (the full evaluation)." in
   Cmd.v (Cmd.info "all" ~doc)
@@ -101,6 +144,7 @@ let all_cmd =
 
 let main =
   let doc = "Reproduction of C-BMF (Wang & Li, DAC 2016)." in
-  Cmd.group (Cmd.info "cbmf_repro" ~doc) [ fig_cmd; tab_cmd; ablation_cmd; all_cmd ]
+  Cmd.group (Cmd.info "cbmf_repro" ~doc)
+    [ fig_cmd; tab_cmd; ablation_cmd; budget_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

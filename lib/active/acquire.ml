@@ -1,0 +1,100 @@
+open Cbmf_linalg
+open Cbmf_parallel
+
+type policy = Variance | Cost_weighted | Round_robin
+
+let policy_name = function
+  | Variance -> "variance"
+  | Cost_weighted -> "cost_weighted"
+  | Round_robin -> "round_robin"
+
+let policy_of_string = function
+  | "variance" -> Variance
+  | "cost_weighted" -> Cost_weighted
+  | "round_robin" -> Round_robin
+  | s -> invalid_arg ("Acquire.policy_of_string: unknown policy " ^ s)
+
+(* K×n predictive-variance grid, pool-fanned over all (state,
+   candidate) cells.  [Update.variance] only reads the factorization,
+   so workers never race; [Pool.map] keeps the result bit-identical at
+   any domain count. *)
+let variances upd ~(rows : Vec.t array) =
+  let n = Array.length rows in
+  let k = Update.n_states upd in
+  let pool = Pool.default () in
+  let flat =
+    Pool.map pool ~n:(k * n) (fun idx ->
+        let s = idx / n and c = idx mod n in
+        Update.variance upd ~state:s rows.(c))
+  in
+  Array.init k (fun s -> Array.sub flat (s * n) n)
+
+(* One winner per state.  Ties break toward the lowest candidate
+   index, so selection is deterministic however the scores came out. *)
+let argmax (scores : float array) =
+  let best = ref 0 in
+  for i = 1 to Array.length scores - 1 do
+    if scores.(i) > scores.(!best) then best := i
+  done;
+  !best
+
+(* Joint budgeted selection: the best [n] (state, candidate) cells of
+   the whole grid, ranked by score — here cost-weighting has real
+   teeth (cheap states win more slots), at the price of a ragged
+   acquisition the streaming {!Update} absorbs but the rectangular
+   EM-facing dataset cannot.  Ties rank by (state, candidate) index. *)
+let select_top upd ~policy ~round ~cost ~(rows : Vec.t array) ~n =
+  let nc = Array.length rows in
+  if nc < 1 then invalid_arg "Acquire.select_top: empty candidate pool";
+  if n < 1 then invalid_arg "Acquire.select_top: n must be >= 1";
+  let k = Update.n_states upd in
+  match policy with
+  | Round_robin ->
+      Array.init n (fun i ->
+          let cell = ((round - 1) * n) + i in
+          (cell mod k, cell / k mod nc))
+  | Variance | Cost_weighted ->
+      let var = variances upd ~rows in
+      let cells = Array.init (k * nc) (fun i -> (i / nc, i mod nc)) in
+      let score (s, c) =
+        match policy with
+        | Variance -> var.(s).(c)
+        | Cost_weighted -> var.(s).(c) /. Float.max (cost s) 1e-300
+        | Round_robin -> assert false
+      in
+      Array.sort
+        (fun a b ->
+          let d = compare (score b) (score a) in
+          if d <> 0 then d else compare a b)
+        cells;
+      Array.sub cells 0 (Stdlib.min n (k * nc))
+
+let select upd ~policy ~round ~cost ~(rows : Vec.t array) =
+  let n = Array.length rows in
+  if n < 1 then invalid_arg "Acquire.select: empty candidate pool";
+  match policy with
+  | Round_robin ->
+      (* Model-blind control: every state takes the same rotating
+         candidate — iid sampling at exactly the loop's budget
+         accounting, the in-loop stand-in for the fixed grid. *)
+      let k = Update.n_states upd in
+      let pick = (round - 1 + (n * 1024)) mod n in
+      (Array.make k pick, Array.make k 0.0)
+  | Variance | Cost_weighted ->
+      let var = variances upd ~rows in
+      let k = Array.length var in
+      let choice = Array.make k 0 and score = Array.make k 0.0 in
+      for s = 0 to k - 1 do
+        let scores =
+          match policy with
+          | Variance -> var.(s)
+          | Cost_weighted ->
+              let c = Float.max (cost s) 1e-300 in
+              Array.map (fun v -> v /. c) var.(s)
+          | Round_robin -> assert false
+        in
+        let i = argmax scores in
+        choice.(s) <- i;
+        score.(s) <- scores.(i)
+      done;
+      (choice, score)

@@ -1,0 +1,60 @@
+(** Acquisition policies: which (state, x) to simulate next.
+
+    Scores every candidate of a round by predictive posterior variance
+    under the current {!Update.t} — the classic uncertainty-sampling
+    rule: the sample the model is least sure about buys the most
+    posterior contraction.  The variance grid is pool-fanned over all
+    (state, candidate) cells via {!Cbmf_parallel.Pool.map}, and since
+    scoring only reads the cached factorization the result is
+    bit-identical at any domain count. *)
+
+open Cbmf_linalg
+
+type policy =
+  | Variance  (** per state, argmax predictive variance *)
+  | Cost_weighted
+      (** argmax variance / cost(state) — prefers information per
+          simulation second when states price differently *)
+  | Round_robin
+      (** model-blind rotating pick, identical for every state — the
+          iid-sampling control with exactly the same budget
+          accounting *)
+
+val policy_name : policy -> string
+
+val policy_of_string : string -> policy
+(** Inverse of {!policy_name}; raises [Invalid_argument]. *)
+
+val variances : Update.t -> rows:Vec.t array -> float array array
+(** [variances upd ~rows] is the K×n predictive-variance grid over
+    candidate basis rows, computed in parallel. *)
+
+val select :
+  Update.t ->
+  policy:policy ->
+  round:int ->
+  cost:(int -> float) ->
+  rows:Vec.t array ->
+  int array * float array
+(** [(choice, score)]: per state, the winning candidate index and its
+    score (0 for [Round_robin], which never scores).  Ties break
+    toward the lowest candidate index, deterministically.  Note that
+    within one state cost is a constant, so [Variance] and
+    [Cost_weighted] coincide here — the per-state form exists to keep
+    the EM-facing dataset rectangular; {!select_top} is where cost
+    weighting differentiates. *)
+
+val select_top :
+  Update.t ->
+  policy:policy ->
+  round:int ->
+  cost:(int -> float) ->
+  rows:Vec.t array ->
+  n:int ->
+  (int * int) array
+(** The [n] best (state, candidate) cells of the whole grid, ranked by
+    score — cost-weighting genuinely reorders across states here
+    (cheap states win more slots).  The resulting acquisition is
+    ragged; {!Update.append} absorbs it, the rectangular
+    {!Stream}/EM path cannot.  [Round_robin] cycles cells
+    deterministically.  Ties rank by (state, candidate) index. *)

@@ -1,0 +1,78 @@
+(** The simulate→refit→acquire driver.
+
+    One run closes the paper's missing loop: seed a rectangular warm-up
+    grid, fit by EM, then per round (1) draw a deterministic candidate
+    pool, (2) score it by predictive posterior variance under the
+    streaming {!Update.t}, (3) simulate exactly one winner per state,
+    (4) fold the samples in by rank-one updates, and (5) every
+    [resync_every] rounds rerun EM {e warm-started} at the current
+    hyper-parameters ({!Cbmf_core.Em.run}'s [?init_hypers]) and reseed
+    the factorization.  Budget accounting counts simulator calls (and
+    their cost units) — the quantity the paper prices in hours — never
+    fit time.
+
+    Everything is deterministic from (simulator seed, config): candidate
+    pools and noise streams are address-derived, scoring fans out over
+    the bit-identical {!Cbmf_parallel.Pool}, so a run's results are
+    bit-identical at any domain count and a budget-B run's samples are
+    a prefix of a budget-B′>B run's. *)
+
+open Cbmf_linalg
+open Cbmf_model
+open Cbmf_core
+
+type config = {
+  n0 : int;  (** seed grid rows per state *)
+  rounds : int;  (** max acquisition rounds (one sample per state each) *)
+  pool_size : int;  (** candidates per round *)
+  policy : Acquire.policy;
+  resync_every : int;  (** rounds between warm EM resyncs; 0 = never *)
+  budget : int;  (** max total simulator calls incl. seed; 0 = unlimited *)
+  em : Em.config;  (** config for the cold fit and every resync *)
+  checkpoints : int array;
+      (** total-sample counts at which to snapshot coefficients (hit
+          only when a round lands exactly on the count — rounds move in
+          steps of K) *)
+}
+
+val default_config : config
+(** n0 = 4, 16 rounds, pool 16, [Variance], resync every 4, no budget
+    cap, EM capped at 8 iterations. *)
+
+type round_log = {
+  round : int;
+  n_per_state : int;  (** after the round *)
+  simulated : int;  (** cumulative simulator calls *)
+  max_score : float;  (** best selection score (0 under [Round_robin]) *)
+  nlml : float;  (** streaming NLML after the round (and any resync) *)
+  resync : bool;  (** a warm EM resync ran this round *)
+  seconds : float;  (** wall-clock of the round, fit time only *)
+}
+
+type checkpoint = {
+  at_samples : int;
+  cp_coeffs : Mat.t;  (** K×M coefficients the run would ship here *)
+  cp_active : int array;
+}
+
+type result = {
+  sim_name : string;
+  policy : Acquire.policy;
+  prior : Prior.t;  (** final hyper-parameters *)
+  coeffs : Mat.t;  (** final K×M coefficients *)
+  active : int array;
+  data : Dataset.t;  (** everything simulated, seed first *)
+  logs : round_log array;
+  checkpoints : checkpoint array;
+  simulated : int;
+  sim_cost : float;  (** Σ cost(state) over all simulator calls *)
+  em_runs : int;  (** 1 cold fit + warm resyncs *)
+}
+
+val run : ?config:config -> sim:Sim.t -> prior0:Prior.t -> unit -> result
+(** [run ~sim ~prior0 ()] drives the loop to its round/budget limit.
+    [prior0] is the cold EM start (λ all-positive, e.g. ones; R from
+    {!Cbmf_core.Prior.r_of_r0}); resyncs warm-start from the running
+    hyper-parameters instead.  Raises [Invalid_argument] on
+    prior/simulator shape mismatches or a config with [n0 < 1] /
+    [pool_size < 1]. *)

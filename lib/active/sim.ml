@@ -1,0 +1,95 @@
+open Cbmf_linalg
+module Rng = Cbmf_prob.Rng
+module Term = Cbmf_basis.Term
+
+type t = {
+  name : string;
+  n_states : int;
+  n_basis : int;
+  dim : int;
+  basis_row : Vec.t -> Vec.t;
+  candidates : round:int -> n:int -> Vec.t array;
+  simulate : state:int -> index:int -> Vec.t -> float;
+  cost : int -> float;
+}
+
+let of_synthetic (gt : Cbmf_circuit.Synthetic.t) =
+  let spec = gt.Cbmf_circuit.Synthetic.spec in
+  let terms = gt.Cbmf_circuit.Synthetic.terms in
+  let m = spec.Cbmf_circuit.Synthetic.m in
+  {
+    name =
+      Printf.sprintf "synthetic-k%d-m%d" spec.Cbmf_circuit.Synthetic.k m;
+    n_states = spec.Cbmf_circuit.Synthetic.k;
+    n_basis = m;
+    dim = spec.Cbmf_circuit.Synthetic.d;
+    basis_row =
+      (fun x -> Array.init m (fun j -> Term.eval terms.(j) x));
+    candidates =
+      (fun ~round ~n -> Cbmf_circuit.Synthetic.candidate_xs gt ~round ~n);
+    simulate =
+      (fun ~state ~index x ->
+        Cbmf_circuit.Synthetic.simulate gt ~state ~index x);
+    cost = (fun _ -> 1.0);
+  }
+
+(* Candidate streams for the physical testbenches reuse the synthetic
+   generator's addressing discipline: one derived stream per
+   (seed, round, candidate), so pools nest as prefixes across budgets
+   and rounds never overlap. *)
+let cand_base ~seed ~round =
+  let open Int64 in
+  add
+    (mul (of_int seed) 0x9E3779B97F4A7C15L)
+    (mul (of_int (round + 1)) 0xBF58476D1CE4E5B9L)
+
+let of_testbench (tb : Cbmf_circuit.Testbench.t)
+    ~(dictionary : Cbmf_basis.Dictionary.t) ~poi ~seed =
+  let n_states = Cbmf_circuit.Testbench.n_states tb in
+  let dim = Cbmf_circuit.Testbench.dim tb in
+  if Cbmf_basis.Dictionary.input_dim dictionary <> dim then
+    invalid_arg "Sim.of_testbench: dictionary/testbench dimension mismatch";
+  if poi < 0 || poi >= Cbmf_circuit.Testbench.n_pois tb then
+    invalid_arg "Sim.of_testbench: poi out of range";
+  {
+    name = tb.Cbmf_circuit.Testbench.name;
+    n_states;
+    n_basis = Cbmf_basis.Dictionary.size dictionary;
+    dim;
+    basis_row = (fun x -> Cbmf_basis.Dictionary.eval dictionary x);
+    candidates =
+      (fun ~round ~n ->
+        if round < 0 then invalid_arg "Sim.candidates: round must be >= 0";
+        if n < 1 then invalid_arg "Sim.candidates: n must be >= 1";
+        Array.init n (fun i ->
+            let rng = Rng.derive (cand_base ~seed ~round) ~index:i in
+            Cbmf_circuit.Process.sample tb.Cbmf_circuit.Testbench.process rng));
+    simulate =
+      (fun ~state ~index:_ x ->
+        (* The MNA "simulator" is deterministic in (state, x); the
+           index only matters for stochastic oracles. *)
+        Cbmf_circuit.Testbench.evaluate_poi tb ~state ~poi x);
+    cost = (fun _ -> tb.Cbmf_circuit.Testbench.seconds_per_sample);
+  }
+
+(* The loop's seed grid: [n0] shared candidate draws (round 0),
+   simulated at every state — the same rectangular N-per-state shape
+   the fixed-grid baseline trains on, and the prefix every longer run
+   shares.  Returns the dataset plus the per-state next-free simulate
+   index (= n0 everywhere). *)
+let seed_dataset sim ~n0 =
+  if n0 < 1 then invalid_arg "Sim.seed_dataset: n0 must be >= 1";
+  let xs = sim.candidates ~round:0 ~n:n0 in
+  let rows = Array.map sim.basis_row xs in
+  let m = sim.n_basis in
+  let design =
+    Array.init sim.n_states (fun _ ->
+        let flat = Array.make (n0 * m) 0.0 in
+        Array.iteri (fun i r -> Array.blit r 0 flat (i * m) m) rows;
+        Mat.unsafe_of_flat ~rows:n0 ~cols:m flat)
+  in
+  let response =
+    Array.init sim.n_states (fun s ->
+        Array.init n0 (fun i -> sim.simulate ~state:s ~index:i xs.(i)))
+  in
+  Cbmf_model.Dataset.create ~design ~response

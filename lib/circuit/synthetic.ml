@@ -75,6 +75,8 @@ let salt_train = 1
 let salt_test = 2
 let salt_batch = 3
 let salt_cov = 4
+let salt_sim = 5
+let salt_cand = 6
 
 let base_for spec ~salt s =
   let open Int64 in
@@ -303,6 +305,31 @@ let dataset ?pool ?corrupt t ~n_per_state =
 
 let test_dataset ?pool t ~n_per_state =
   dataset_with ~salt:salt_test ?pool t ~n_per_state
+
+(* --- Per-sample simulation oracle -----------------------------------
+   The acquisition loop asks for one response at a time, at an x it
+   chose — so the noise cannot ride on the same stream as the x draw
+   (the loop's draws are not the dataset's).  Each (state, index) owns
+   its own derived noise stream: simulating the same index twice gives
+   the same answer, indices can be materialized in any order, and a
+   budget-B run's draws are exactly the prefix of a budget-B′>B run's,
+   like the dataset views. *)
+
+let simulate t ~state ~index x =
+  if index < 0 then invalid_arg "Synthetic.simulate: index must be >= 0";
+  let mean = mean_at t ~state x in
+  let rng = stream t.spec ~salt:salt_sim state ~index in
+  mean +. (t.spec.noise_sigma *. Rng.gaussian rng)
+
+(* Candidate pools for acquisition: [n] device draws addressed by
+   (round, i) — every candidate owns its own stream, so pools of
+   different sizes nest as prefixes and rounds never overlap. *)
+let candidate_xs t ~round ~n =
+  if round < 0 then invalid_arg "Synthetic.candidate_xs: round must be >= 0";
+  if n < 1 then invalid_arg "Synthetic.candidate_xs: n must be >= 1";
+  Array.init n (fun i ->
+      let rng = stream t.spec ~salt:salt_cand round ~index:i in
+      draw_x t.device rng)
 
 (* --- Serving-engine stress inputs ----------------------------------- *)
 

@@ -134,6 +134,26 @@ val test_dataset : ?pool:Pool.t -> t -> n_per_state:int -> Dataset.t
 (** Held-out dataset from an independent stream (never overlaps
     {!dataset} at any budget). *)
 
+(** {1 Per-sample simulation oracle} *)
+
+val simulate : t -> state:int -> index:int -> Vec.t -> float
+(** [simulate t ~state ~index x] is one noisy response
+    [mean_at t ~state x + σ·ε] where ε comes from a derived stream
+    addressed by (state, index) — independent of the dataset streams,
+    deterministic per index, materializable in any order.  An
+    acquisition loop that assigns consecutive indices per state gets
+    draws that nest as prefixes across budgets, exactly like
+    {!dataset} rows do.  Raises [Invalid_argument] on a negative
+    index; [state]/[x] are checked by {!mean_at}. *)
+
+val candidate_xs : t -> round:int -> n:int -> Vec.t array
+(** [candidate_xs t ~round ~n] is a deterministic pool of [n]
+    correlated device draws for acquisition round [round], each from
+    its own (round, i)-addressed stream — pools of different sizes
+    nest as prefixes, and distinct rounds never share draws (or
+    overlap the dataset/simulation streams).  Raises
+    [Invalid_argument] when [round < 0] or [n < 1]. *)
+
 (** {1 Serving-engine stress inputs} *)
 
 val batch_inputs : t -> salt:int -> n:int -> Mat.t * int array

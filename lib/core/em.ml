@@ -37,6 +37,7 @@ type trace = {
   active_history : int array;
   converged : bool;
   recoveries : int;
+  warm_start : bool;
   diag : Diag.t;
 }
 
@@ -168,8 +169,24 @@ let m_step ?(damp = 1.0) cfg (d : Dataset.t) (prior : Prior.t)
   end
   else Prior.create ~lambda:lambda' ~r:r' ~sigma0:sigma0'
 
-let run ?(config = default_config) ?posterior ?diag (d : Dataset.t) prior0 =
+let run ?(config = default_config) ?posterior ?diag ?init_hypers
+    (d : Dataset.t) prior0 =
   let diag = match diag with Some dg -> dg | None -> Diag.create () in
+  (* Warm start: a previous run's hyper-parameters replace [prior0] as
+     the EM iterate — the streaming loop's resync entry, where the
+     initializer's grid search would be both wasted work and a
+     discontinuity in the model trajectory. *)
+  let warm_start = init_hypers <> None in
+  let prior0 =
+    match init_hypers with
+    | Some (h : Prior.t) ->
+        if
+          Prior.n_basis h <> Prior.n_basis prior0
+          || Prior.n_states h <> Prior.n_states prior0
+        then invalid_arg "Em.run: init_hypers shape mismatch"
+        else h
+    | None -> prior0
+  in
   Diag.with_current diag @@ fun () ->
   (* Reject NaN/Inf rows up front with a structured, typed report —
      one bad entry would otherwise surface as an inscrutable Cholesky
@@ -327,6 +344,7 @@ let run ?(config = default_config) ?posterior ?diag (d : Dataset.t) prior0 =
       active_history = Array.of_list (List.rev !active_hist);
       converged;
       recoveries = !recoveries;
+      warm_start;
       diag;
     }
   in

@@ -62,6 +62,9 @@ type trace = {
   active_history : int array;  (** active-set size per iteration *)
   converged : bool;
   recoveries : int;  (** recovery actions taken (0 for a clean run) *)
+  warm_start : bool;
+      (** true iff the run was seeded through [?init_hypers] (a
+          streaming resync) rather than the cold [prior0] *)
   diag : Cbmf_robust.Diag.t;
       (** every fault seen and recovered from during the run *)
 }
@@ -71,6 +74,7 @@ val run :
   ?posterior:
     (?need_sigma:bool -> Dataset.t -> Prior.t -> active:int array -> Posterior.t) ->
   ?diag:Cbmf_robust.Diag.t ->
+  ?init_hypers:Prior.t ->
   Dataset.t ->
   Prior.t ->
   Prior.t * Posterior.t * trace
@@ -80,6 +84,12 @@ val run :
     {!Posterior.compute} with one shared {!Posterior.workspace} for the
     whole run) — the bench harness uses this to time alternative
     posterior implementations through an identical EM loop.
+    [init_hypers] warm-starts the run: the supplied Ω = {λ, R, σ0}
+    replaces [prior0] as the first iterate (shape-checked against it),
+    [trace.warm_start] records the entry, and everything downstream is
+    the standard loop — the active-learning resync path, where the
+    previous fit's hyper-parameters are a far better start than the
+    grid initializer's.
 
     Robustness: the dataset is validated ({!Dataset.validate_exn}) on
     entry; every E-step runs behind a fallback chain (auto path → dual

@@ -438,13 +438,14 @@ let compute_dual ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
    A⁻¹[(s1,j),(s2,j)] = R⁻¹[s1,s2]/λ_j (diagonal across basis), and
    DᵀD is block-diagonal across states with blocks B_sᵀB_s. *)
 
-let compute_primal ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
+(* Assemble P = A⁻¹ + σ0⁻²·DᵀD and its factorization inputs.  Shared
+   verbatim (same loop structure, same float-op order) between
+   [compute_primal] and the public {!primal_system} hook the streaming
+   rank-one updater builds on, so both produce bit-identical systems. *)
+let assemble_primal (d : Dataset.t) (prior : Prior.t)
     ~(b_act : Mat.t array) ~(lambda_act : Vec.t) =
-  let k = d.Dataset.n_states
-  and n = d.Dataset.n_samples
-  and m = d.Dataset.n_basis in
-  let a = Array.length active in
-  let nk = k * n in
+  let k = d.Dataset.n_states in
+  let a = Array.length lambda_act in
   let ak = a * k in
   Array.iter (fun lam -> assert (lam > 0.0)) lambda_act;
   let sigma0 = prior.Prior.sigma0 in
@@ -475,9 +476,14 @@ let compute_primal ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
       done
     done
   done;
-  let p_chol = Chol.factorize_with_retry p in
-  let y = flat_response d ~into:(grab ws.y_buf nk) in
-  (* c = Dᵀy, state-major. *)
+  (r_chol, grams, p)
+
+(* c = Dᵀy, state-major — the primal right-hand side, shared like
+   [assemble_primal]. *)
+let primal_rhs (d : Dataset.t) ~(b_act : Mat.t array) ~(y : float array) =
+  let k = d.Dataset.n_states and n = d.Dataset.n_samples in
+  let a = if k > 0 then b_act.(0).Mat.cols else 0 in
+  let ak = a * k in
   let c = Array.make ak 0.0 in
   for s = 0 to k - 1 do
     let bm = b_act.(s) in
@@ -491,6 +497,32 @@ let compute_primal ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
       end
     done
   done;
+  c
+
+(* log det A = K·Σ_j log λ_j + a·log det R (A is the Kronecker-structured
+   prior covariance over the active block). *)
+let primal_log_det_a ~(lambda_act : Vec.t) ~r_chol ~k =
+  let a = Array.length lambda_act in
+  let acc = ref 0.0 in
+  for j = 0 to a - 1 do
+    acc := !acc +. log lambda_act.(j)
+  done;
+  (float_of_int k *. !acc) +. (float_of_int a *. Chol.log_det r_chol)
+
+let compute_primal ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
+    ~(b_act : Mat.t array) ~(lambda_act : Vec.t) =
+  let k = d.Dataset.n_states
+  and n = d.Dataset.n_samples
+  and m = d.Dataset.n_basis in
+  let a = Array.length active in
+  let nk = k * n in
+  let ak = a * k in
+  let sigma0 = prior.Prior.sigma0 in
+  let inv_s2 = 1.0 /. (sigma0 *. sigma0) in
+  let r_chol, grams, p = assemble_primal d prior ~b_act ~lambda_act in
+  let p_chol = Chol.factorize_with_retry p in
+  let y = flat_response d ~into:(grab ws.y_buf nk) in
+  let c = primal_rhs d ~b_act ~y in
   let mu_w = Chol.solve_vec p_chol c in
   for i = 0 to ak - 1 do
     mu_w.(i) <- inv_s2 *. mu_w.(i)
@@ -504,13 +536,7 @@ let compute_primal ~need_sigma ws (d : Dataset.t) (prior : Prior.t) ~active
     active;
   let resid_sq = residual_sq d ~b_act ~mu ~active ~y in
   let y_ginv_y = inv_s2 *. (Vec.dot y y -. Vec.dot c mu_w) in
-  let log_det_a =
-    let acc = ref 0.0 in
-    for j = 0 to a - 1 do
-      acc := !acc +. log lambda_act.(j)
-    done;
-    (float_of_int k *. !acc) +. (float_of_int a *. Chol.log_det r_chol)
-  in
+  let log_det_a = primal_log_det_a ~lambda_act ~r_chol ~k in
   let log_det_g =
     (2.0 *. float_of_int nk *. log sigma0) +. log_det_a +. Chol.log_det p_chol
   in
@@ -659,6 +685,51 @@ let compute ?(need_sigma = true) ?(path = `Auto) ?ws (d : Dataset.t)
   else t
 
 let coefficients t = Mat.transpose t.mu
+
+(* --- Primal-system hook for streaming rank-one updates --------------
+   The active-learning updater ([Cbmf_active.Update]) keeps the aK×aK
+   Cholesky of P alive across appended samples, growing it via
+   [Chol.rank1_update] instead of refitting.  It seeds itself from the
+   exact same assembly [compute_primal] uses (shared helpers above), so
+   an updated factorization and a from-scratch primal solve agree to
+   factorization round-off. *)
+
+type primal_system = {
+  p_mat : Mat.t;
+  rhs : Vec.t;
+  yty : float;
+  log_det_a : float;
+  sys_active : int array;
+  sys_nk : int;
+}
+
+let primal_system (d : Dataset.t) (prior : Prior.t) ~active =
+  let k = d.Dataset.n_states
+  and n = d.Dataset.n_samples
+  and m = d.Dataset.n_basis in
+  assert (Prior.n_basis prior = m);
+  assert (Prior.n_states prior = k);
+  let a = Array.length active in
+  assert (a > 0);
+  Array.iter (fun i -> assert (i >= 0 && i < m)) active;
+  let b_act =
+    Array.map (fun bmat -> Mat.select_cols bmat active) d.Dataset.design
+  in
+  let lambda_act = Array.map (fun j -> prior.Prior.lambda.(j)) active in
+  let r_chol, _grams, p = assemble_primal d prior ~b_act ~lambda_act in
+  let nk = k * n in
+  let y = flat_response d ~into:(Array.make nk 0.0) in
+  let rhs = primal_rhs d ~b_act ~y in
+  let yty = Vec.dot y y in
+  let log_det_a = primal_log_det_a ~lambda_act ~r_chol ~k in
+  {
+    p_mat = p;
+    rhs;
+    yty;
+    log_det_a;
+    sys_active = Array.copy active;
+    sys_nk = nk;
+  }
 
 (* Dense reference path: builds D (NK × MK), A (MK × MK) and applies
    eqs. (19)-(21) literally.  O((MK)³) — test-sized inputs only. *)

@@ -83,6 +83,28 @@ val coefficients : t -> Mat.t
 (** K×M coefficient matrix (the MAP solution of eq. 22, transposed
     into the per-state layout used by the rest of the code base). *)
 
+type primal_system = {
+  p_mat : Mat.t;
+      (** P = A⁻¹ + σ0⁻²·DᵀD, aK×aK, unknowns state-major
+          ((s,j) ↦ s·a+j, j indexing [sys_active]) *)
+  rhs : Vec.t;  (** c = Dᵀy, same ordering *)
+  yty : float;  (** ‖y‖² over all states *)
+  log_det_a : float;  (** K·Σ_j log λ_j + a·log det R *)
+  sys_active : int array;  (** the active set the system was built on *)
+  sys_nk : int;  (** N·K at build time *)
+}
+(** Everything the primal path derives from the data: the NLML is
+    σ0⁻²·(yty − cᵀμ_w) + 2·NK·log σ0 + log_det_a + log det P with
+    μ_w = σ0⁻²·P⁻¹c, and the predictive variance at (state, basis row
+    b) is the P⁻¹ quadratic form of b's active slice embedded in state
+    [state]'s block. *)
+
+val primal_system : Dataset.t -> Prior.t -> active:int array -> primal_system
+(** [primal_system d prior ~active] assembles the primal normal system
+    through the {e same} helpers (same float-op order) as the [`Primal]
+    path of {!compute} — the seed of [Cbmf_active.Update]'s streaming
+    rank-one factorization updates.  Requires every active λ > 0. *)
+
 val naive_dense : Dataset.t -> Prior.t -> Mat.t * Mat.t * float
 (** Reference implementation that builds the full (M·K) system of
     eqs. (19)–(21) densely: returns (μ as M×K, Σ_p as MK×MK, nlml).

