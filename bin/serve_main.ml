@@ -96,18 +96,54 @@ let parse_model_spec spec =
         (Printf.sprintf "bad --model %S (expected NAME=SNAPSHOT_PATH)" spec);
       exit 2
 
-let run_serve socket port workers timeout max_mb queue_cap deadline
-    drain_timeout retry_after_ms models =
-  let addr = sockaddr ~socket ~port in
-  let registry =
-    Registry.create ~max_bytes:(max_mb * 1024 * 1024) ()
+(* Sharded serving: fork one full server per shard on
+   "<socket>.shard-<i>", then route the pre-registered models to their
+   consistent-hash owners over the wire.  The parent just supervises:
+   it parks until a signal, then shuts the cluster down gracefully. *)
+let run_sharded ~config ~shards ~models socket =
+  let base_path =
+    match socket with
+    | Some p -> p
+    | None ->
+        prerr_endline "cbmf_serve: --shards needs --socket BASE_PATH";
+        exit 2
   in
+  let cluster = Shard.start ~config ~shards ~base_path () in
+  Shard.wait_ready cluster;
+  Array.iter
+    (function
+      | Unix.ADDR_UNIX path -> Printf.printf "Listening on %s\n%!" path
+      | _ -> ())
+    (Shard.addrs cluster);
+  let router = Shard.connect cluster in
   List.iter
     (fun spec ->
       let name, path = parse_model_spec spec in
-      Registry.add_path registry ~name path;
-      Printf.printf "Registered %S -> %s (lazy)\n%!" name path)
+      match Shard.load_path router ~name ~path with
+      | Ok _ ->
+          Printf.printf "Loaded %S -> %s on shard %d\n%!" name path
+            (Shard.route router ~name)
+      | Error msg ->
+          prerr_endline (Printf.sprintf "load %S failed: %s" name msg);
+          Shard.close_router router;
+          Shard.stop cluster;
+          exit 1)
     models;
+  Shard.close_router router;
+  let stop_requested = ref false in
+  let stop_on_signal _ = stop_requested := true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on_signal)
+   with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on_signal)
+   with Invalid_argument _ -> ());
+  while not !stop_requested do
+    Thread.delay 0.2
+  done;
+  Shard.stop cluster;
+  print_endline "Cluster stopped."
+
+let run_serve socket port workers timeout max_mb queue_cap deadline
+    drain_timeout retry_after_ms batch_window_us batch_max shards models =
   let config =
     {
       Server.default_config with
@@ -117,20 +153,35 @@ let run_serve socket port workers timeout max_mb queue_cap deadline
       deadline;
       drain_timeout;
       retry_after_ms;
+      batch_window_us;
+      batch_max;
     }
   in
-  let server = Server.start ~config ~registry addr in
-  (match Server.addr server with
-  | Unix.ADDR_UNIX path -> Printf.printf "Listening on %s\n%!" path
-  | Unix.ADDR_INET (host, p) ->
-      Printf.printf "Listening on %s:%d\n%!" (Unix.string_of_inet_addr host) p);
-  let stop_on_signal _ = Server.request_stop server in
-  (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on_signal)
-   with Invalid_argument _ -> ());
-  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on_signal)
-   with Invalid_argument _ -> ());
-  Server.wait server;
-  print_endline "Server stopped."
+  if shards > 1 then run_sharded ~config ~shards ~models socket
+  else begin
+    let addr = sockaddr ~socket ~port in
+    let registry =
+      Registry.create ~max_bytes:(max_mb * 1024 * 1024) ()
+    in
+    List.iter
+      (fun spec ->
+        let name, path = parse_model_spec spec in
+        Registry.add_path registry ~name path;
+        Printf.printf "Registered %S -> %s (lazy)\n%!" name path)
+      models;
+    let server = Server.start ~config ~registry addr in
+    (match Server.addr server with
+    | Unix.ADDR_UNIX path -> Printf.printf "Listening on %s\n%!" path
+    | Unix.ADDR_INET (host, p) ->
+        Printf.printf "Listening on %s:%d\n%!" (Unix.string_of_inet_addr host) p);
+    let stop_on_signal _ = Server.request_stop server in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on_signal)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on_signal)
+     with Invalid_argument _ -> ());
+    Server.wait server;
+    print_endline "Server stopped."
+  end
 
 let serve_cmd =
   let workers =
@@ -182,6 +233,34 @@ let serve_cmd =
       & info [ "retry-after-ms" ]
           ~doc:"Retry hint carried in shed (overloaded) replies.")
   in
+  let batch_window_us =
+    Arg.(
+      value & opt int (-1)
+      & info [ "batch-window-us" ]
+          ~doc:
+            "Dynamic-batching window in microseconds: predicts from all \
+             connections are coalesced into merged engine calls (replies \
+             stay bit-identical).  0 disables batching; negative (the \
+             default) uses CBMF_BATCH_WINDOW_US or 200.")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 0
+      & info [ "batch-max" ]
+          ~doc:
+            "Points per merged engine call before an early flush.  0 or \
+             negative (the default) uses CBMF_BATCH_MAX or 4 engine chunks.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Run N server processes, models placed by consistent hash of \
+             their name on $(b,--socket).shard-<i> sockets (requires \
+             --socket).  Placement ignores reload generations, so hot \
+             reloads never move a model.")
+  in
   let models =
     Arg.(
       value & opt_all string []
@@ -192,7 +271,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Run the inference server.")
     Term.(
       const run_serve $ socket_t $ port_t $ workers $ timeout $ max_mb
-      $ queue_cap $ deadline $ drain_timeout $ retry_after_ms $ models)
+      $ queue_cap $ deadline $ drain_timeout $ retry_after_ms
+      $ batch_window_us $ batch_max $ shards $ models)
 
 (* --- Client one-shots ------------------------------------------------- *)
 
@@ -200,8 +280,49 @@ let with_client ~socket ~port f =
   let c = Client.connect (sockaddr ~socket ~port) in
   Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
 
-let run_load socket port name path =
-  with_client ~socket ~port (fun c ->
+let shard_base ~socket =
+  match socket with
+  | Some p -> p
+  | None ->
+      prerr_endline "cbmf_serve: --shards needs --socket BASE_PATH";
+      exit 2
+
+(* Name-routed one-shots against a sharded cluster: connect only to
+   the shard the consistent hash owns [name] on. *)
+let with_routed ~socket ~port ~shards ~name f =
+  if shards <= 1 then with_client ~socket ~port f
+  else begin
+    let base_path = shard_base ~socket in
+    let router =
+      Shard.router ~shards (fun i ->
+          Client.connect (Shard.shard_addr ~base_path i))
+    in
+    Fun.protect
+      ~finally:(fun () -> Shard.close_router router)
+      (fun () -> f (Shard.client_for router ~name))
+  end
+
+(* Unnamed one-shots (ping, stats, shutdown) fan over every shard. *)
+let each_shard ~socket ~port ~shards f =
+  if shards <= 1 then with_client ~socket ~port (f 0)
+  else begin
+    let base_path = shard_base ~socket in
+    for i = 0 to shards - 1 do
+      let c = Client.connect (Shard.shard_addr ~base_path i) in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f i c)
+    done
+  end
+
+let shards_t =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ]
+        ~doc:
+          "Talk to an N-shard cluster rooted at --socket BASE_PATH; \
+           model-named requests go to the consistent-hash owner shard.")
+
+let run_load socket port shards name path =
+  with_routed ~socket ~port ~shards ~name (fun c ->
       match Client.load_path c ~name ~path with
       | Ok (n_active, n_states, bytes) ->
           Printf.printf "Loaded %S: %d active terms, %d states, ~%d bytes\n"
@@ -219,9 +340,9 @@ let load_cmd =
   in
   Cmd.v
     (Cmd.info "load" ~doc:"Ask a running server to load a snapshot file.")
-    Term.(const run_load $ socket_t $ port_t $ name_t $ path_t)
+    Term.(const run_load $ socket_t $ port_t $ shards_t $ name_t $ path_t)
 
-let run_predict socket port name state xspec =
+let run_predict socket port shards name state xspec =
   let x =
     String.split_on_char ',' xspec
     |> List.filter (fun s -> String.trim s <> "")
@@ -231,7 +352,7 @@ let run_predict socket port name state xspec =
   let xs =
     Cbmf_linalg.Mat.unsafe_of_flat ~rows:1 ~cols:(Array.length x) x
   in
-  with_client ~socket ~port (fun c ->
+  with_routed ~socket ~port ~shards ~name (fun c ->
       match Client.predict c ~name ~states:[| state |] ~xs with
       | Ok (means, sds) ->
           Printf.printf "mean = %.6g, sd = %.6g\n" means.(0) sds.(0)
@@ -254,13 +375,17 @@ let predict_cmd =
   in
   Cmd.v
     (Cmd.info "predict" ~doc:"Predict one point against a loaded model.")
-    Term.(const run_predict $ socket_t $ port_t $ name_t $ state_t $ x_t)
+    Term.(
+      const run_predict $ socket_t $ port_t $ shards_t $ name_t $ state_t
+      $ x_t)
 
-let run_ping socket port =
-  with_client ~socket ~port (fun c ->
+let run_ping socket port shards =
+  each_shard ~socket ~port ~shards (fun i c ->
       match Client.ping c with
       | Ok generation ->
-          Printf.printf "pong: generation %d\n" generation
+          if shards > 1 then
+            Printf.printf "shard %d pong: generation %d\n" i generation
+          else Printf.printf "pong: generation %d\n" generation
       | Error f ->
           prerr_endline ("ping failed: " ^ Client.failure_to_string f);
           exit 1)
@@ -270,10 +395,10 @@ let ping_cmd =
     (Cmd.info "ping"
        ~doc:
          "Health-check a running server; prints its registry generation.")
-    Term.(const run_ping $ socket_t $ port_t)
+    Term.(const run_ping $ socket_t $ port_t $ shards_t)
 
-let run_reload socket port name path =
-  with_client ~socket ~port (fun c ->
+let run_reload socket port shards name path =
+  with_routed ~socket ~port ~shards ~name (fun c ->
       match Client.reload_path c ~name ~path with
       | Ok (generation, n_active, n_states, bytes) ->
           Printf.printf
@@ -297,12 +422,14 @@ let reload_cmd =
          "Hot-swap a served model from a snapshot file.  In-flight requests \
           finish on the old model; a bad snapshot is refused and the old \
           model keeps serving.")
-    Term.(const run_reload $ socket_t $ port_t $ name_t $ path_t)
+    Term.(const run_reload $ socket_t $ port_t $ shards_t $ name_t $ path_t)
 
-let run_stats socket port =
-  with_client ~socket ~port (fun c ->
+let run_stats socket port shards =
+  each_shard ~socket ~port ~shards (fun i c ->
       match Client.stats c with
-      | Ok json -> print_endline json
+      | Ok json ->
+          if shards > 1 then Printf.printf "shard %d: %s\n" i json
+          else print_endline json
       | Error msg ->
           prerr_endline ("stats failed: " ^ msg);
           exit 1)
@@ -310,16 +437,16 @@ let run_stats socket port =
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Dump a running server's counters as JSON.")
-    Term.(const run_stats $ socket_t $ port_t)
+    Term.(const run_stats $ socket_t $ port_t $ shards_t)
 
-let run_shutdown socket port =
-  with_client ~socket ~port (fun c -> Client.shutdown c);
+let run_shutdown socket port shards =
+  each_shard ~socket ~port ~shards (fun _ c -> Client.shutdown c);
   print_endline "Shutdown requested."
 
 let shutdown_cmd =
   Cmd.v
     (Cmd.info "shutdown" ~doc:"Stop a running server.")
-    Term.(const run_shutdown $ socket_t $ port_t)
+    Term.(const run_shutdown $ socket_t $ port_t $ shards_t)
 
 let () =
   let doc = "C-BMF model snapshot and inference serving." in

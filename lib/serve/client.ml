@@ -31,7 +31,9 @@ let send_raw t body =
   Protocol.write_frame t.fd body;
   Protocol.decode_reply (Protocol.read_frame t.fd)
 
-let call t req = send_raw t (Protocol.encode_request req)
+let call t req =
+  Protocol.write_request t.fd req;
+  Protocol.decode_reply (Protocol.read_frame t.fd)
 
 let err_string code message =
   Printf.sprintf "%s: %s" (Protocol.error_code_name code) message
@@ -112,6 +114,64 @@ let predicted_of = function
 
 let predict_typed t ~name ~states ~xs =
   predicted_of (call_typed t (Protocol.Predict { name; states; xs }))
+
+(* Pipelined predicts: every frame goes out before any reply is read,
+   collapsing N round-trip latencies into one.  The server handles a
+   connection sequentially, so pipelining alone does not fill the
+   dynamic batcher's window — cross-connection concurrency does that —
+   but it keeps this connection's requests flowing back-to-back into
+   it.  Replies come back in request order.  A
+   transport failure poisons the rest of the pipeline — the stream is
+   unreadable past the tear — so every remaining slot gets the same
+   [Connection_lost]; a typed server error ([Model_not_found], a shape
+   error) only fails its own slot. *)
+let predict_many t ~name reqs =
+  let lost = ref None in
+  let connection_lost e =
+    let f =
+      match e with
+      | Protocol.Closed -> Connection_lost "server closed the connection"
+      | End_of_file -> Connection_lost "unexpected end of stream"
+      | Codec.Corrupt msg ->
+          Connection_lost (Printf.sprintf "torn reply: %s" msg)
+      | Unix.Unix_error (ue, fn, _) ->
+          Connection_lost (Printf.sprintf "%s: %s" fn (Unix.error_message ue))
+      | e -> raise e
+    in
+    lost := Some f;
+    f
+  in
+  (* Send phase.  SO_SNDTIMEO bounds a wedged pipe (a server that
+     stopped reading while both socket buffers are full), surfacing it
+     as [Connection_lost] rather than a hang. *)
+  (try
+     List.iter
+       (fun (states, xs) ->
+         match !lost with
+         | Some _ -> ()
+         | None ->
+             Protocol.write_request t.fd (Protocol.Predict { name; states; xs }))
+       reqs
+   with e -> ignore (connection_lost e));
+  (* Read phase, in order; sends that never happened still consume a
+     slot so the result list always aligns with [reqs]. *)
+  List.map
+    (fun _ ->
+      match !lost with
+      | Some f -> Error f
+      | None -> (
+          match Protocol.decode_reply (Protocol.read_frame t.fd) with
+          | Protocol.Predicted { means; sds } -> Ok (means, sds)
+          | Protocol.Overloaded { queue_depth; retry_after_ms } ->
+              Error (Overloaded { queue_depth; retry_after_ms })
+          | Protocol.Error { code; message } ->
+              Error (Server_error { code; message })
+          | _ -> Error (Unexpected "predict answered with a non-predict reply")
+          | exception
+              ((Protocol.Closed | End_of_file | Codec.Corrupt _
+               | Unix.Unix_error _) as e) ->
+              Error (connection_lost e)))
+    reqs
 
 let predict_deadline t ~name ~states ~xs ~deadline_ms =
   predicted_of

@@ -80,6 +80,23 @@ val predict_typed :
   xs:Mat.t ->
   (float array * float array, failure) result
 
+val predict_many :
+  t ->
+  name:string ->
+  (int array * Mat.t) list ->
+  (float array * float array, failure) result list
+(** Pipelined predicts on this one connection: every request frame is
+    sent before any reply is read, collapsing N round-trip latencies
+    into one.  (The server handles each connection sequentially, so
+    pipelining does not by itself fill the dynamic batcher's window —
+    that takes concurrent connections — but it keeps this connection's
+    requests arriving back-to-back.)  Replies arrive in request order;
+    the result list aligns 1:1 with
+    the input.  A typed server error fails only its own slot; a
+    transport failure (hangup, torn frame, timeout) fails its slot and
+    every later one with the same [Connection_lost], since the stream
+    cannot be resynchronized.  Never raises on transport problems. *)
+
 val predict_deadline :
   t ->
   name:string ->

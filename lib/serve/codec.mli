@@ -18,15 +18,35 @@ exception Corrupt of string
     exceeds the remaining payload, an invalid tag, a count that is
     negative or absurdly large. *)
 
-(** {1 Writing} *)
+(** {1 Writing}
+
+    The writer appends into one growable [Bytes] buffer with in-place
+    little-endian stores — no per-field scratch cell, no intermediate
+    copies, and (in native code) no boxed [int64] per float: bulk
+    float payloads are a single capacity check followed by a tight
+    unboxed store loop.  A writer opened with [~frame:true]
+    additionally reserves 4 bytes for the wire length prefix so a
+    whole framed message is one allocation (see {!frame_bytes}). *)
 
 type writer
 
-val writer : unit -> writer
+val writer : ?frame:bool -> unit -> writer
+(** [frame] (default false) reserves 4 leading bytes for a u32-LE
+    length prefix, to be patched by {!frame_bytes}. *)
 
 val contents : writer -> string
+(** The written body (excluding any reserved frame prefix), as a fresh
+    string. *)
+
+val frame_bytes : writer -> Bytes.t * int
+(** For a [~frame:true] writer: patch the length prefix with the body
+    length and return [(buf, total_len)] — the underlying buffer and
+    the number of valid bytes ([4 + body]).  Zero-copy: the buffer is
+    the writer's own storage, only valid until the next write.  Raises
+    [Invalid_argument] on an unframed writer. *)
 
 val length : writer -> int
+(** Body length written so far (excluding any frame prefix). *)
 
 val w_u8 : writer -> int -> unit
 (** [0, 255]. *)
@@ -43,6 +63,11 @@ val w_string : writer -> string -> unit
 (** u32 length + raw bytes. *)
 
 val w_f64_array : writer -> float array -> unit
+
+val w_floats : writer -> float array -> int -> int -> unit
+(** [w_floats w xs pos n] writes [xs.(pos .. pos+n-1)] as raw f64s (no
+    length field) in one bulk store — the zero-copy building block for
+    float payloads. *)
 
 val w_u32_array : writer -> int array -> unit
 
@@ -70,6 +95,10 @@ val r_string : ?max_len:int -> reader -> string
 (** [max_len] (default 16 MiB) guards against hostile length fields. *)
 
 val r_f64_array : reader -> float array
+
+val r_floats : reader -> float array -> int -> int -> unit
+(** [r_floats r dst pos n] bulk-loads [n] raw f64s into
+    [dst.(pos ..)] — bounds-checked once, no per-element boxing. *)
 
 val r_u32_array : reader -> int array
 

@@ -106,9 +106,8 @@ let r_source r =
   else if mode = 1 then Inline (Codec.r_string ~max_len:max_frame_len r)
   else raise (Codec.Corrupt (Printf.sprintf "unknown load mode %d" mode))
 
-let encode_request req =
-  let w = Codec.writer () in
-  (match req with
+let emit_request w req =
+  match req with
   | Load { name; source } ->
       Codec.w_u8 w op_load;
       Codec.w_string w name;
@@ -130,7 +129,11 @@ let encode_request req =
       Codec.w_string w name;
       Codec.w_u32_array w states;
       Codec.w_mat w xs;
-      Codec.w_u32 w deadline_ms);
+      Codec.w_u32 w deadline_ms
+
+let encode_request req =
+  let w = Codec.writer () in
+  emit_request w req;
   Codec.contents w
 
 let decode_request body =
@@ -166,9 +169,8 @@ let decode_request body =
   Codec.expect_end r;
   req
 
-let encode_reply rep =
-  let w = Codec.writer () in
-  (match rep with
+let emit_reply w rep =
+  match rep with
   | Loaded { n_active; n_states; bytes } ->
       Codec.w_u8 w rep_loaded;
       Codec.w_u32 w n_active;
@@ -198,7 +200,11 @@ let encode_reply rep =
   | Error { code; message } ->
       Codec.w_u8 w rep_error;
       Codec.w_u8 w (int_of_code code);
-      Codec.w_string w message);
+      Codec.w_string w message
+
+let encode_reply rep =
+  let w = Codec.writer () in
+  emit_reply w rep;
   Codec.contents w
 
 let decode_reply body =
@@ -270,6 +276,29 @@ let write_frame fd body =
   Lazy.force ignore_sigpipe;
   let buf = frame body in
   write_all fd buf 0 (Bytes.length buf)
+
+(* Zero-copy framed sends: the message is emitted straight into one
+   framed writer (4 reserved prefix bytes + body, single buffer), the
+   prefix patched in place, and the buffer written as-is — no body
+   string, no second framed copy.  The wire bytes are identical to
+   [write_frame fd (encode_* msg)]. *)
+
+let write_framed fd w =
+  Lazy.force ignore_sigpipe;
+  let buf, len = Codec.frame_bytes w in
+  if len - 4 > max_frame_len then
+    invalid_arg (Printf.sprintf "Protocol.write_framed: %d bytes" (len - 4));
+  write_all fd buf 0 len
+
+let write_request fd req =
+  let w = Codec.writer ~frame:true () in
+  emit_request w req;
+  write_framed fd w
+
+let write_reply fd rep =
+  let w = Codec.writer ~frame:true () in
+  emit_reply w rep;
+  write_framed fd w
 
 (* Read exactly [len] bytes; [at_boundary] distinguishes a clean EOF
    (peer hung up between frames) from a torn frame. *)

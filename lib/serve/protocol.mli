@@ -105,6 +105,15 @@ val write_frame : Unix.file_descr -> string -> unit
 (** Length prefix + body, handling short writes.  Raises
     [Invalid_argument] on bodies above {!max_frame_len}. *)
 
+val write_request : Unix.file_descr -> request -> unit
+(** Encode and send one framed request with zero copies: the message
+    is emitted into a single framed buffer (prefix patched in place)
+    and written directly.  Byte-identical on the wire to
+    [write_frame fd (encode_request req)]. *)
+
+val write_reply : Unix.file_descr -> reply -> unit
+(** Same, for replies — the server's reply hot path. *)
+
 val read_frame : Unix.file_descr -> string
 (** One whole frame.  Raises {!Closed} on EOF at a boundary,
     {!Codec.Corrupt} on an oversized length prefix or EOF mid-frame,

@@ -13,6 +13,9 @@ type config = {
   deadline : float;
   drain_timeout : float;
   retry_after_ms : int;
+  batch_window_us : int;
+      (* dynamic-batching window; 0 = unbatched, <0 = Tune default *)
+  batch_max : int;  (* points per merged engine call; <=0 = Tune default *)
 }
 
 let default_config =
@@ -24,7 +27,22 @@ let default_config =
     deadline = 0.0;
     drain_timeout = 1.0;
     retry_after_ms = 50;
+    batch_window_us = -1;
+    batch_max = 0;
   }
+
+(* Resolve the sentinel defaults against Tune (env-overridable) at
+   server start, not at module load. *)
+let batcher_of_config ~stats config =
+  let window_us =
+    if config.batch_window_us < 0 then Cbmf_parallel.Tune.batch_window_us ()
+    else config.batch_window_us
+  in
+  let max_points =
+    if config.batch_max <= 0 then Cbmf_parallel.Tune.batch_max ()
+    else config.batch_max
+  in
+  Batcher.create ~stats ~window_us ~max_points ()
 
 (* Chaos-harness fault sites (armed via CBMF_FAULT_SITES, see
    Cbmf_robust.Inject).  Each simulates one serve-tier failure mode:
@@ -43,6 +61,7 @@ type t = {
   config : config;
   registry : Registry.t;
   stats : Stats.t;
+  batcher : Batcher.t;
   listen_fd : Unix.file_descr;
   bound : Unix.sockaddr;
   unix_path : string option;  (* socket file to unlink on stop *)
@@ -72,10 +91,9 @@ let addr t = t.bound
 let shed t fd ~depth =
   Stats.record_shed t.stats;
   (try
-     Protocol.write_frame fd
-       (Protocol.encode_reply
-          (Protocol.Overloaded
-             { queue_depth = depth; retry_after_ms = t.config.retry_after_ms }))
+     Protocol.write_reply fd
+       (Protocol.Overloaded
+          { queue_depth = depth; retry_after_ms = t.config.retry_after_ms })
    with _ -> ());
   (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
@@ -122,6 +140,8 @@ let dequeue t =
   | None -> None
   | Some (fd, accepted, depth) ->
       Stats.set_queue_depth t.stats depth;
+      Stats.record_queue_wait t.stats
+        ~seconds:(Unix.gettimeofday () -. accepted);
       Some (fd, accepted)
 
 (* --- Request handling ------------------------------------------------- *)
@@ -157,6 +177,7 @@ type ctx = {
   c_registry : Registry.t;
   c_stats : Stats.t;
   c_deadline : float;  (* per-request wall-clock budget, s; 0 = none *)
+  c_batcher : Batcher.t option;  (* None = call the engine directly *)
   on_shutdown : unit -> unit;
 }
 
@@ -194,7 +215,14 @@ let do_predict ctx ?deadline ~name ~states ~xs () =
         true )
   | Some model -> (
       try
-        let means, sds = Engine.predict_batch ?deadline model ~states ~xs in
+        (* The batcher's reply is bit-identical to the direct engine
+           call and raises the same exceptions, so the handlers below
+           cover both paths. *)
+        let means, sds =
+          match ctx.c_batcher with
+          | Some b -> Batcher.submit b ?deadline ~model ~states ~xs ()
+          | None -> Engine.predict_batch ?deadline model ~states ~xs
+        in
         (Protocol.Predicted { means; sds }, true)
       with
       | Invalid_argument msg ->
@@ -276,15 +304,15 @@ let is_timeout = function
    the caller hangs up — exactly what a worker dying mid-write looks
    like from the client side. *)
 let write_reply fd reply =
-  let body = Protocol.encode_reply reply in
   if Inject.fire ~site:slow_reply_site then Thread.delay 0.02;
   if Inject.fire ~site:torn_frame_site then begin
-    let buf = Protocol.frame body in
+    let buf = Protocol.frame (Protocol.encode_reply reply) in
     let half = max 1 (Bytes.length buf / 2) in
     (try ignore (Unix.write fd buf 0 half) with Unix.Unix_error _ -> ());
     raise Protocol.Closed
   end;
-  Protocol.write_frame fd body
+  (* Zero-copy hot path: one framed buffer, no body string. *)
+  Protocol.write_reply fd reply
 
 (* Serves one connection's requests until hangup / timeout / framing
    loss.  Does NOT close the descriptor — ownership stays with the
@@ -363,13 +391,14 @@ let close_conn fd =
   (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let serve_fd ?stats ?(deadline = 0.0) ~registry fd =
+let serve_fd ?stats ?batcher ?(deadline = 0.0) ~registry fd =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   serve_loop
     {
       c_registry = registry;
       c_stats = stats;
       c_deadline = deadline;
+      c_batcher = batcher;
       on_shutdown = (fun () -> ());
     }
     fd;
@@ -381,6 +410,8 @@ let worker_loop t =
       c_registry = t.registry;
       c_stats = t.stats;
       c_deadline = t.config.deadline;
+      c_batcher =
+        (if Batcher.window_us t.batcher > 0 then Some t.batcher else None);
       on_shutdown = (fun () -> request_stop t);
     }
   in
@@ -502,6 +533,7 @@ let start ?(config = default_config) ?registry ?stats sockaddr =
       config;
       registry;
       stats;
+      batcher = batcher_of_config ~stats config;
       listen_fd;
       bound;
       unix_path;
@@ -533,6 +565,11 @@ let wait t =
   in
   List.iter Thread.join to_join;
   if to_join <> [] then begin
+    (* Workers are gone, so no submit can arrive; the batcher's final
+       drain settles anything they left in flight, then its drainer
+       joins.  Order matters: stopping the batcher before the workers
+       would make late submits bypass coalescing. *)
+    Batcher.stop t.batcher;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (try Unix.close t.pipe_rd with Unix.Unix_error _ -> ());
     (try Unix.close t.pipe_wr with Unix.Unix_error _ -> ());

@@ -24,6 +24,13 @@
     {!Engine.predict_batch}) and answers a typed
     [Error { code = Deadline_exceeded; _ }].
 
+    {b Dynamic batching.}  Predict requests from {e all} connections
+    are coalesced by a shared {!Batcher} into merged engine calls
+    under a [batch_window_us] / [batch_max] policy; replies are
+    bit-identical to unbatched serving (see {!Batcher}), deadlines
+    stay anchored where they were, and [batch_window_us = 0] restores
+    the inline engine call.
+
     {b Graceful drain.}  {!request_stop} stops accepting but gives
     queued and in-flight requests up to [drain_timeout] to finish
     normally; only past that window are leftovers cut off (queued
@@ -64,12 +71,26 @@ type config = {
           finish after {!request_stop} (default 1) *)
   retry_after_ms : int;
       (** retry hint carried by [Overloaded] replies (default 50) *)
+  batch_window_us : int;
+      (** dynamic-batching window in µs: predicts from all connections
+          park in a {!Batcher} for up to this long (idle-edge only, see
+          {!Batcher}) and are coalesced into merged engine calls.
+          [0] serves every request individually (engine called inline);
+          negative (the default) takes
+          {!Cbmf_parallel.Tune.batch_window_us}
+          ([CBMF_BATCH_WINDOW_US], 200 otherwise).  Replies are
+          bit-identical either way. *)
+  batch_max : int;
+      (** points per merged engine call before an early flush;
+          [<= 0] (the default) takes {!Cbmf_parallel.Tune.batch_max}
+          ([CBMF_BATCH_MAX], 4 engine chunks otherwise) *)
 }
 
 val default_config : config
 
 val serve_fd :
   ?stats:Stats.t ->
+  ?batcher:Batcher.t ->
   ?deadline:float ->
   registry:Registry.t ->
   Unix.file_descr ->
@@ -77,10 +98,13 @@ val serve_fd :
 (** Serve one pre-connected descriptor until the peer hangs up — no
     listener, no threads, same request handling and failure semantics
     as the full server.  [deadline] is the per-request budget in
-    seconds ([0.], the default, disables it).  A [Shutdown] request
-    simply ends the connection.  The descriptor is closed on return.
-    This is the socketpair-loopback entry point the tests (and
-    embedders) use. *)
+    seconds ([0.], the default, disables it).  [batcher] routes this
+    connection's predicts through a shared {!Batcher}, so several
+    [serve_fd] threads coalesce across descriptors exactly like the
+    full server's workers (the caller owns the batcher's lifetime).  A
+    [Shutdown] request simply ends the connection.  The descriptor is
+    closed on return.  This is the socketpair-loopback entry point the
+    tests (and embedders) use. *)
 
 type t
 

@@ -7,6 +7,13 @@ let bucket_edges_us =
 
 let n_buckets = Array.length bucket_edges_us
 
+(* A fixed-bucket histogram with its own count, so any latency phase
+   (or the batch-occupancy distribution, whose "µs" are points) can
+   reuse the same quantile machinery. *)
+type hist = { counts : int array; mutable n : int }
+
+let hist_make () = { counts = Array.make n_buckets 0; n = 0 }
+
 type t = {
   lock : Mutex.t;
   ops : (string, int) Hashtbl.t;
@@ -19,6 +26,19 @@ type t = {
   mutable deadlines : int;  (* requests answered Deadline_exceeded *)
   mutable queue_depth : int;  (* gauge: pending connections right now *)
   mutable queue_peak : int;  (* high-water mark of the gauge *)
+  (* Latency split: time on the admission queue (accept → worker
+     pickup, per connection), time parked in the dynamic batcher
+     (enqueue → drain, per predict request), and engine compute time
+     (per predict request, its share being the whole merged call). *)
+  queue_wait : hist;
+  batch_wait : hist;
+  compute : hist;
+  (* Batch occupancy: points per merged engine call (the buckets are
+     point counts, not µs), plus how many wire requests coalesced. *)
+  occupancy : hist;
+  mutable flushes : int;  (* merged engine calls *)
+  mutable coalesced : int;  (* wire requests those calls served *)
+  mutable max_occupancy : int;
 }
 
 let create () =
@@ -34,6 +54,13 @@ let create () =
     deadlines = 0;
     queue_depth = 0;
     queue_peak = 0;
+    queue_wait = hist_make ();
+    batch_wait = hist_make ();
+    compute = hist_make ();
+    occupancy = hist_make ();
+    flushes = 0;
+    coalesced = 0;
+    max_occupancy = 0;
   }
 
 let locked t f =
@@ -59,6 +86,25 @@ let record ?batch t ~op ~ok ~seconds =
       t.hist.(bucket_of_us us) <- t.hist.(bucket_of_us us) + 1;
       t.total <- t.total + 1)
 
+let hist_add h v =
+  h.counts.(bucket_of_us v) <- h.counts.(bucket_of_us v) + 1;
+  h.n <- h.n + 1
+
+let record_queue_wait t ~seconds =
+  locked t (fun () -> hist_add t.queue_wait (Float.max 0.0 (seconds *. 1e6)))
+
+let record_batch_phase t ~batch_wait ~compute =
+  locked t (fun () ->
+      hist_add t.batch_wait (Float.max 0.0 (batch_wait *. 1e6));
+      hist_add t.compute (Float.max 0.0 (compute *. 1e6)))
+
+let record_flush t ~requests ~points =
+  locked t (fun () ->
+      hist_add t.occupancy (float_of_int (max 1 points));
+      t.flushes <- t.flushes + 1;
+      t.coalesced <- t.coalesced + requests;
+      if points > t.max_occupancy then t.max_occupancy <- points)
+
 let record_shed t =
   locked t (fun () -> t.sheds <- t.sheds + 1)
 
@@ -74,20 +120,33 @@ let sheds t = locked t (fun () -> t.sheds)
 
 let deadlines t = locked t (fun () -> t.deadlines)
 
-let quantile_unlocked t q =
-  if t.total = 0 then 0.0
+let counts_quantile counts total q =
+  if total = 0 then 0.0
   else begin
-    let target = Float.of_int t.total *. q in
+    let target = Float.of_int total *. q in
     let acc = ref 0 in
     let i = ref 0 in
-    while !i < n_buckets - 1 && Float.of_int (!acc + t.hist.(!i)) < target do
-      acc := !acc + t.hist.(!i);
+    while !i < n_buckets - 1 && Float.of_int (!acc + counts.(!i)) < target do
+      acc := !acc + counts.(!i);
       incr i
     done;
     bucket_edges_us.(!i)
   end
 
+let quantile_unlocked t q = counts_quantile t.hist t.total q
+
 let quantile_us t q = locked t (fun () -> quantile_unlocked t q)
+
+let phase_quantile t which q =
+  locked t (fun () ->
+      let h =
+        match which with
+        | `Queue_wait -> t.queue_wait
+        | `Batch_wait -> t.batch_wait
+        | `Compute -> t.compute
+        | `Occupancy -> t.occupancy
+      in
+      counts_quantile h.counts h.n q)
 
 let json_float f =
   if Float.is_integer f && Float.abs f < 1e15 then
@@ -122,19 +181,50 @@ let to_json ?(extra = []) t =
            t.total
            (json_float (quantile_unlocked t 0.5))
            (json_float (quantile_unlocked t 0.99)));
-      let first = ref true in
-      for i = 0 to n_buckets - 1 do
-        if t.hist.(i) > 0 then begin
-          if not !first then Buffer.add_char buf ',';
-          first := false;
-          let edge =
-            if Float.is_finite bucket_edges_us.(i) then
-              json_float bucket_edges_us.(i)
-            else "\"inf\""
-          in
-          Buffer.add_string buf (Printf.sprintf "[%s,%d]" edge t.hist.(i))
-        end
-      done;
+      let add_buckets counts =
+        let first = ref true in
+        for i = 0 to n_buckets - 1 do
+          if counts.(i) > 0 then begin
+            if not !first then Buffer.add_char buf ',';
+            first := false;
+            let edge =
+              if Float.is_finite bucket_edges_us.(i) then
+                json_float bucket_edges_us.(i)
+              else "\"inf\""
+            in
+            Buffer.add_string buf (Printf.sprintf "[%s,%d]" edge counts.(i))
+          end
+        done
+      in
+      add_buckets t.hist;
+      Buffer.add_string buf "]}";
+      (* Latency split: where a request's time went — admission queue,
+         batcher park, engine compute. *)
+      let add_phase name h last =
+        Buffer.add_string buf
+          (Printf.sprintf "%S:{\"count\":%d,\"p50\":%s,\"p99\":%s,\"buckets\":["
+             name h.n
+             (json_float (counts_quantile h.counts h.n 0.5))
+             (json_float (counts_quantile h.counts h.n 0.99)));
+        add_buckets h.counts;
+        Buffer.add_string buf (if last then "]}" else "]},")
+      in
+      Buffer.add_string buf ",\"phases\":{";
+      add_phase "queue_wait_us" t.queue_wait false;
+      add_phase "batch_wait_us" t.batch_wait false;
+      add_phase "compute_us" t.compute true;
+      Buffer.add_string buf "},";
+      (* Batch occupancy: points per merged engine call (bucket edges
+         are point counts here, not µs). *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"batch_occupancy\":{\"flushes\":%d,\"coalesced_requests\":%d,\
+            \"max_points\":%d,\"p50_points\":%s,\"p99_points\":%s,\
+            \"buckets\":["
+           t.flushes t.coalesced t.max_occupancy
+           (json_float (counts_quantile t.occupancy.counts t.occupancy.n 0.5))
+           (json_float (counts_quantile t.occupancy.counts t.occupancy.n 0.99)));
+      add_buckets t.occupancy.counts;
       Buffer.add_string buf "]}";
       List.iter
         (fun (name, value) ->

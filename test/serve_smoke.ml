@@ -177,7 +177,9 @@ let () =
         [ "\"requests\""; "\"predict\":102"; "\"load\":3"; "\"errors\"";
           "\"points\""; "\"max_batch\""; "\"latency_us\""; "\"p50\"";
           "\"p99\""; "\"buckets\""; "\"registry\""; "\"hits\"";
-          "\"misses\"" ]
+          "\"misses\""; "\"phases\""; "\"queue_wait_us\"";
+          "\"batch_wait_us\""; "\"compute_us\""; "\"batch_occupancy\"";
+          "\"flushes\""; "\"coalesced_requests\"" ]
   | Error e -> check ("stats: " ^ e) false);
 
   (* --- Hot reload under load ---------------------------------------- *)

@@ -502,6 +502,45 @@ let test_protocol_rejects () =
       Protocol.decode_request (String.sub enc 0 (String.length enc - 5)));
   corrupt "garbage reply" (fun () -> Protocol.decode_reply "\x7f\x00")
 
+let test_protocol_framed_writer () =
+  (* The zero-copy framed send paths must put byte-identical frames on
+     the wire to the encode-then-frame path — read each frame back
+     through the normal reader and compare with the string encoder. *)
+  let xs = Mat.init 3 4 (fun i j -> float_of_int ((5 * i) - j) /. 7.0) in
+  let reqs =
+    [ Protocol.Stats;
+      Protocol.Predict { name = "m"; states = [| 0; 2; 1 |]; xs };
+      Protocol.Predict_deadline
+        { name = "m"; states = [| 1; 1; 0 |]; xs; deadline_ms = 42 };
+      Protocol.Load { name = "w"; source = Protocol.Inline "img \x00\xff" } ]
+  in
+  List.iter
+    (fun req ->
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Protocol.write_request a req;
+      let body = Protocol.read_frame b in
+      Unix.close a;
+      Unix.close b;
+      check_true "framed request bytes identical"
+        (String.equal body (Protocol.encode_request req)))
+    reqs;
+  let reps =
+    [ Protocol.Predicted
+        { means = [| 1.5; nan; infinity |]; sds = [| 0.25; 0.5; 1.0 |] };
+      Protocol.Overloaded { queue_depth = 3; retry_after_ms = 17 };
+      Protocol.Error { code = Protocol.Bad_request; message = "shape" } ]
+  in
+  List.iter
+    (fun rep ->
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Protocol.write_reply a rep;
+      let body = Protocol.read_frame b in
+      Unix.close a;
+      Unix.close b;
+      check_true "framed reply bytes identical"
+        (String.equal body (Protocol.encode_reply rep)))
+    reps
+
 let test_protocol_roundtrip_v2 () =
   (* The additive messages: ping/reload/deadline ops and their replies. *)
   let xs = Mat.init 2 3 (fun i j -> float_of_int ((7 * i) - j)) in
@@ -1187,6 +1226,447 @@ let test_bad_snapshot_fault () =
   check_true "deterministic order" (faults.(0) = f);
   check_int "counted by class" 1 (Diag.count_class d Fault.C_bad_snapshot)
 
+(* --- Dynamic batcher -------------------------------------------------- *)
+
+(* A request set with uneven shapes, plus each request's solo engine
+   answer for bitwise comparison. *)
+let batch_requests m n_reqs =
+  Array.init n_reqs (fun i ->
+      let n = 3 + (i mod 5) in
+      let xs = Mat.init n m.Model.input_dim (fun _ _ -> g ()) in
+      let states = Array.init n (fun j -> (i + j) mod m.Model.n_states) in
+      let expect = Engine.predict_batch m ~states ~xs in
+      (states, xs, expect))
+
+(* Submit every request from its own thread; returns each thread's
+   outcome (result or exception). *)
+let submit_all b m reqs =
+  let out = Array.make (Array.length reqs) None in
+  let ths =
+    Array.mapi
+      (fun i (states, xs, _) ->
+        Thread.create
+          (fun () ->
+            out.(i) <-
+              Some
+                (match Batcher.submit b ~model:m ~states ~xs () with
+                | r -> Ok r
+                | exception e -> Error e))
+          ())
+      reqs
+  in
+  Array.iter Thread.join ths;
+  Array.map Option.get out
+
+let check_all_bit_identical tag reqs out =
+  Array.iteri
+    (fun i (_, _, (em, es)) ->
+      match out.(i) with
+      | Ok (rm, rs) ->
+          check_true tag (bits_eq em rm && bits_eq es rs)
+      | Error e -> Alcotest.failf "%s: request %d raised %s" tag i
+                     (Printexc.to_string e))
+    reqs
+
+let test_batcher_bit_identity () =
+  (* Concurrent submits from 8 threads against one model coalesce into
+     merged engine calls; every reply must equal its solo engine
+     answer bit for bit.  The window is generous so every thread's
+     request lands in the first flush, making the coalescing (not just
+     the fallback solo path) the thing under test. *)
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let stats = Stats.create () in
+  let b = Batcher.create ~stats ~window_us:100_000 ~max_points:100_000 () in
+  let reqs = batch_requests m 8 in
+  let out = submit_all b m reqs in
+  Batcher.stop b;
+  check_all_bit_identical "coalesced replies bit-identical" reqs out;
+  (* Requests were 3-7 points each; an occupancy median above that
+     proves at least two requests actually merged. *)
+  check_true "requests coalesced across submitters"
+    (Stats.phase_quantile stats `Occupancy 0.5 > 7.0)
+
+let test_batcher_two_models () =
+  (* Same window, two distinct models: merging must group by physical
+     model, and both groups answer bit-identically. *)
+  let m1 = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let m2 = synth_model ~dim:4 ~k:2 ~a:6 () in
+  let b = Batcher.create ~window_us:50_000 ~max_points:100_000 () in
+  let r1 = batch_requests m1 3 and r2 = batch_requests m2 3 in
+  let out = Array.make 6 None in
+  let spawn off m reqs =
+    Array.mapi
+      (fun i (states, xs, _) ->
+        Thread.create
+          (fun () ->
+            out.(off + i) <-
+              Some
+                (match Batcher.submit b ~model:m ~states ~xs () with
+                | r -> Ok r
+                | exception e -> Error e))
+          ())
+      reqs
+  in
+  let ths = Array.append (spawn 0 m1 r1) (spawn 3 m2 r2) in
+  Array.iter Thread.join ths;
+  Batcher.stop b;
+  let out = Array.map Option.get out in
+  check_all_bit_identical "model-1 replies" r1 (Array.sub out 0 3);
+  check_all_bit_identical "model-2 replies" r2 (Array.sub out 3 3)
+
+let test_batcher_window_zero () =
+  (* window = 0 degenerates to per-request serving: the engine is
+     called inline (no drainer), answers are bit-identical, and no
+     merged flush is ever recorded. *)
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let stats = Stats.create () in
+  let b = Batcher.create ~stats ~window_us:0 () in
+  let reqs = batch_requests m 4 in
+  Array.iter
+    (fun (states, xs, (em, es)) ->
+      let rm, rs = Batcher.submit b ~model:m ~states ~xs () in
+      check_true "window=0 bit-identical" (bits_eq em rm && bits_eq es rs))
+    reqs;
+  Batcher.stop b;
+  check_true "window=0 records no merged flushes"
+    (Stats.phase_quantile stats `Occupancy 0.99 = 0.0)
+
+let test_batcher_early_flush () =
+  (* A full batch flushes immediately: with a 5 s window but an
+     8-point cap, two 4-point submits must come back far sooner than
+     the window. *)
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let b = Batcher.create ~window_us:5_000_000 ~max_points:8 () in
+  let xs () = Mat.init 4 m.Model.input_dim (fun _ _ -> g ()) in
+  let states = Array.init 4 (fun j -> j mod m.Model.n_states) in
+  let mk_req () =
+    let x = xs () in
+    (states, x, Engine.predict_batch m ~states ~xs:x)
+  in
+  let reqs = [| mk_req (); mk_req () |] in
+  let t0 = Unix.gettimeofday () in
+  let out = submit_all b m reqs in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Batcher.stop b;
+  check_all_bit_identical "early-flush replies bit-identical" reqs out;
+  check_true "full batch flushed well before the window"
+    (elapsed < 2.0)
+
+let test_batcher_deadline_anchor () =
+  (* Budgets are absolute and anchored at enqueue: a request whose
+     budget is shorter than the batching window must come back as a
+     typed deadline fault, never as a late success — parking cannot
+     silently extend a budget. *)
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let b = Batcher.create ~window_us:150_000 ~max_points:100_000 () in
+  let xs = Mat.init 5 m.Model.input_dim (fun _ _ -> g ()) in
+  let states = Array.init 5 (fun j -> j mod m.Model.n_states) in
+  let expect_deadline tag deadline =
+    match Batcher.submit b ~deadline ~model:m ~states ~xs () with
+    | _ -> Alcotest.failf "%s: expired request completed" tag
+    | exception Fault.Error (Fault.Early_stop { site; _ }) ->
+        check_true (tag ^ " carries the serve.deadline site")
+          (String.equal site Engine.deadline_site)
+  in
+  expect_deadline "budget shorter than window"
+    (Unix.gettimeofday () +. 0.02);
+  expect_deadline "already-expired budget" (Unix.gettimeofday () -. 1.0);
+  (* A budget comfortably past the window parks, merges and succeeds. *)
+  let em, es = Engine.predict_batch m ~states ~xs in
+  let rm, rs =
+    Batcher.submit b
+      ~deadline:(Unix.gettimeofday () +. 30.0)
+      ~model:m ~states ~xs ()
+  in
+  check_true "generous budget bit-identical through the batcher"
+    (bits_eq em rm && bits_eq es rs);
+  Batcher.stop b
+
+let test_batcher_validation_isolation () =
+  (* One malformed request in the window must fail alone with the
+     engine's own Invalid_argument while its window-mates succeed. *)
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let b = Batcher.create ~window_us:50_000 ~max_points:100_000 () in
+  let good = batch_requests m 2 in
+  let bad_xs = Mat.init 2 (m.Model.input_dim + 3) (fun _ _ -> g ()) in
+  let bad_states = [| 0; 1 |] in
+  let bad_out = ref None in
+  let bad_th =
+    Thread.create
+      (fun () ->
+        bad_out :=
+          Some
+            (match
+               Batcher.submit b ~model:m ~states:bad_states ~xs:bad_xs ()
+             with
+            | r -> Ok r
+            | exception e -> Error e))
+      ()
+  in
+  let out = submit_all b m good in
+  Thread.join bad_th;
+  Batcher.stop b;
+  check_all_bit_identical "window-mates unaffected" good out;
+  match Option.get !bad_out with
+  | Error (Invalid_argument _) -> ()
+  | Error e ->
+      Alcotest.failf "bad request: expected Invalid_argument, got %s"
+        (Printexc.to_string e)
+  | Ok _ -> Alcotest.fail "bad request succeeded"
+
+let test_batcher_cross_connection () =
+  (* The server-level contract: several serve_fd connections sharing
+     one batcher coalesce across descriptors, and every wire reply is
+     bit-identical to the solo engine answer.  (The full Server.start
+     wires the same pieces; serve_fd keeps the test socketpair-local.) *)
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let registry = Registry.create () in
+  Registry.put registry ~name:"m" m;
+  let stats = Stats.create () in
+  let batcher =
+    Batcher.create ~stats ~window_us:100_000 ~max_points:100_000 ()
+  in
+  let n_conns = 4 in
+  let pairs =
+    Array.init n_conns (fun _ ->
+        Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+  in
+  let servers =
+    Array.map
+      (fun (srv_fd, _) ->
+        Thread.create
+          (fun () -> Server.serve_fd ~stats ~batcher ~registry srv_fd)
+          ())
+      pairs
+  in
+  let reqs = batch_requests m n_conns in
+  let out = Array.make n_conns None in
+  let clients =
+    Array.init n_conns (fun i ->
+        Thread.create
+          (fun () ->
+            let c = Client.of_fd (snd pairs.(i)) in
+            let states, xs, _ = reqs.(i) in
+            out.(i) <- Some (Client.predict_typed c ~name:"m" ~states ~xs);
+            Client.close c)
+          ())
+  in
+  Array.iter Thread.join clients;
+  Array.iter Thread.join servers;
+  Batcher.stop batcher;
+  Array.iteri
+    (fun i (_, _, (em, es)) ->
+      match Option.get out.(i) with
+      | Ok (rm, rs) ->
+          check_true "cross-connection reply bit-identical"
+            (bits_eq em rm && bits_eq es rs)
+      | Error f ->
+          Alcotest.failf "connection %d: %s" i (Client.failure_to_string f))
+    reqs;
+  check_true "connections coalesced into merged calls"
+    (Stats.phase_quantile stats `Occupancy 0.5 > 7.0)
+
+(* --- Pipelined client ------------------------------------------------- *)
+
+let test_predict_many () =
+  let m = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let registry = Registry.create () in
+  Registry.put registry ~name:"m" m;
+  with_loopback registry (fun c ->
+      let reqs =
+        List.init 5 (fun i ->
+            let n = 2 + i in
+            let xs = Mat.init n m.Model.input_dim (fun _ _ -> g ()) in
+            let states = Array.init n (fun j -> j mod m.Model.n_states) in
+            (states, xs))
+      in
+      let expected =
+        List.map
+          (fun (states, xs) -> Engine.predict_batch m ~states ~xs)
+          reqs
+      in
+      let results = Client.predict_many c ~name:"m" reqs in
+      check_int "one result per request" (List.length reqs)
+        (List.length results);
+      List.iter2
+        (fun (em, es) r ->
+          match r with
+          | Ok (rm, rs) ->
+              check_true "pipelined reply bit-identical"
+                (bits_eq em rm && bits_eq es rs)
+          | Error f ->
+              Alcotest.failf "pipelined predict: %s"
+                (Client.failure_to_string f))
+        expected results;
+      (* A typed server error fails only its own slot. *)
+      let good_xs = Mat.init 2 m.Model.input_dim (fun _ _ -> g ()) in
+      let good = ([| 0; 1 |], good_xs) in
+      let bad = ([| 0 |], Mat.create 1 (m.Model.input_dim + 1)) in
+      (match Client.predict_many c ~name:"m" [ good; bad; good ] with
+      | [ Ok _; Error (Client.Server_error { code = Protocol.Bad_request; _ });
+          Ok _ ] ->
+          ()
+      | rs ->
+          Alcotest.failf "mixed pipeline: got %s"
+            (String.concat ";"
+               (List.map
+                  (function
+                    | Ok _ -> "ok"
+                    | Error f -> Client.failure_to_string f)
+                  rs)));
+      (* Unknown model: every slot answered, connection alive. *)
+      let all_missing = Client.predict_many c ~name:"nope" [ good; good ] in
+      check_true "unknown model fails every slot, typed"
+        (List.for_all
+           (function
+             | Error (Client.Server_error { code = Protocol.Model_not_found; _ })
+               ->
+                 true
+             | _ -> false)
+           all_missing);
+      (match Client.predict_typed c ~name:"m" ~states:(fst good)
+               ~xs:(snd good)
+       with
+      | Ok _ -> ()
+      | Error f ->
+          Alcotest.failf "connection died after pipeline: %s"
+            (Client.failure_to_string f));
+      Client.shutdown c)
+
+(* --- Consistent-hash sharding ----------------------------------------- *)
+
+let test_shard_ring () =
+  let names = Array.init 200 (fun i -> Printf.sprintf "model-%d" i) in
+  let r4 = Shard.ring ~vnodes:64 4 in
+  check_int "ring shard count" 4 (Shard.shards r4);
+  let p1 = Array.map (Shard.place r4) names in
+  (* Deterministic: an independently built identical ring places every
+     name the same way — this is what lets clients route with no
+     coordination. *)
+  let p2 = Array.map (Shard.place (Shard.ring ~vnodes:64 4)) names in
+  check_true "placement deterministic" (p1 = p2);
+  check_true "placement in range"
+    (Array.for_all (fun s -> s >= 0 && s < 4) p1);
+  let counts = Array.make 4 0 in
+  Array.iter (fun s -> counts.(s) <- counts.(s) + 1) p1;
+  check_true "every shard owns part of the namespace"
+    (Array.for_all (fun c -> c > 0) counts);
+  check_true "no shard dominates"
+    (Array.for_all (fun c -> c < 150) counts);
+  (* Growing 4 -> 5 shards moves roughly 1/5 of the names, never most
+     of them (mod-N hashing would move ~4/5). *)
+  let p5 = Array.map (Shard.place (Shard.ring ~vnodes:64 5)) names in
+  let moved = ref 0 in
+  Array.iteri (fun i s -> if s <> p5.(i) then incr moved) p1;
+  check_true "minimal movement on reshard"
+    (!moved > 0 && !moved < Array.length names / 2);
+  (match Shard.ring 0 with
+  | _ -> Alcotest.fail "ring accepted 0 shards"
+  | exception Invalid_argument _ -> ());
+  match Shard.ring ~vnodes:0 2 with
+  | _ -> Alcotest.fail "ring accepted 0 vnodes"
+  | exception Invalid_argument _ -> ()
+
+(* N in-process shards: one registry + serve_fd thread per socketpair —
+   the generalized loopback-smoke pattern the shard router rides in
+   tests. *)
+let with_inproc_shards n f =
+  let regs = Array.init n (fun _ -> Registry.create ()) in
+  let pairs =
+    Array.init n (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+  in
+  let servers =
+    Array.init n (fun i ->
+        Thread.create
+          (fun () -> Server.serve_fd ~registry:regs.(i) (fst pairs.(i)))
+          ())
+  in
+  let router = Shard.router ~shards:n (fun i -> Client.of_fd (snd pairs.(i))) in
+  Fun.protect
+    ~finally:(fun () ->
+      Shard.close_router router;
+      (* The router dials lazily: a shard no test request landed on was
+         never connected, so [close_router] alone would leave its
+         serve_fd thread blocked on a live peer fd forever. *)
+      Array.iter
+        (fun (_, cl) -> try Unix.close cl with Unix.Unix_error _ -> ())
+        pairs;
+      Array.iter Thread.join servers)
+    (fun () -> f router regs)
+
+let test_shard_routing_inproc () =
+  let n_shards = 3 in
+  let n_models = 8 in
+  let models = Array.init n_models (fun _ -> synth_model ~dim:5 ~k:3 ~a:8 ()) in
+  with_inproc_shards n_shards (fun router regs ->
+      Array.iteri
+        (fun j m ->
+          let name = Printf.sprintf "model-%d" j in
+          (match
+             Shard.load_inline router ~name ~image:(Snapshot.encode m)
+           with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "load %s: %s" name e);
+          (* The model must live exactly on its hash owner. *)
+          let owner = Shard.route router ~name in
+          Array.iteri
+            (fun i reg ->
+              let here = Registry.find reg ~name <> None in
+              check_true "model on its hash owner only" (here = (i = owner)))
+            regs;
+          let xs = Mat.init 6 m.Model.input_dim (fun _ _ -> g ()) in
+          let states = Array.init 6 (fun s -> s mod m.Model.n_states) in
+          let em, es = Engine.predict_batch m ~states ~xs in
+          match Shard.predict_typed router ~name ~states ~xs with
+          | Ok (rm, rs) ->
+              check_true "routed predict bit-identical"
+                (bits_eq em rm && bits_eq es rs)
+          | Error f ->
+              Alcotest.failf "routed predict %s: %s" name
+                (Client.failure_to_string f))
+        models;
+      (* The namespace actually spread over several shards. *)
+      let used =
+        Array.init n_models (fun j ->
+            Shard.route router ~name:(Printf.sprintf "model-%d" j))
+      in
+      check_true "several shards in use"
+        (Array.exists (fun s -> s <> used.(0)) used))
+
+let test_shard_reload_stable () =
+  (* Placement is generation-independent: a hot reload swaps the model
+     behind a name without moving it to another shard, and routed
+     predicts flip to the new model bit-identically. *)
+  let m1 = synth_model ~dim:5 ~k:3 ~a:8 () in
+  let m2 = synth_model ~dim:5 ~k:3 ~a:8 () in
+  with_inproc_shards 2 (fun router regs ->
+      let name = "hot-model" in
+      (match Shard.load_inline router ~name ~image:(Snapshot.encode m1) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "load: %s" e);
+      let owner = Shard.route router ~name in
+      let xs = Mat.init 5 m1.Model.input_dim (fun _ _ -> g ()) in
+      let states = Array.init 5 (fun s -> s mod m1.Model.n_states) in
+      let check_serving tag m =
+        let em, es = Engine.predict_batch m ~states ~xs in
+        match Shard.predict_typed router ~name ~states ~xs with
+        | Ok (rm, rs) -> check_true tag (bits_eq em rm && bits_eq es rs)
+        | Error f -> Alcotest.failf "%s: %s" tag (Client.failure_to_string f)
+      in
+      check_serving "serving m1 before reload" m1;
+      (match Shard.reload_inline router ~name ~image:(Snapshot.encode m2) with
+      | Ok (generation, _, _, _) ->
+          check_int "reload bumped the slot generation" 2 generation
+      | Error f -> Alcotest.failf "reload: %s" (Client.failure_to_string f));
+      check_int "reload did not move the model" owner
+        (Shard.route router ~name);
+      Array.iteri
+        (fun i reg ->
+          check_true "model still on its owner only"
+            ((Registry.find reg ~name <> None) = (i = owner)))
+        regs;
+      check_serving "serving m2 after reload" m2)
+
 let suite =
   [ ( "serve.codec",
       [ case "primitive round-trips (incl. NaN payloads)" test_codec_roundtrip;
@@ -1220,13 +1700,27 @@ let suite =
       [ case "request/reply round-trips" test_protocol_roundtrip;
         case "v2 messages round-trip" test_protocol_roundtrip_v2;
         case "frozen wire bytes (additive versioning)" test_protocol_wire_compat;
+        case "zero-copy framed writes byte-identical" test_protocol_framed_writer;
         case "malformed bodies rejected" test_protocol_rejects ] );
+    ( "serve.batcher",
+      [ case "concurrent submits bit-identical" test_batcher_bit_identity;
+        case "two models merge separately" test_batcher_two_models;
+        case "window=0 degenerates to per-request" test_batcher_window_zero;
+        case "full batch flushes early" test_batcher_early_flush;
+        case "deadlines anchored at enqueue" test_batcher_deadline_anchor;
+        case "bad request fails alone" test_batcher_validation_isolation;
+        case "serve_fd connections coalesce" test_batcher_cross_connection ] );
+    ( "serve.shard",
+      [ case "ring: deterministic, spread, minimal movement" test_shard_ring;
+        case "in-process multi-shard routing" test_shard_routing_inproc;
+        case "reload keeps placement stable" test_shard_reload_stable ] );
     ( "serve.server",
       [ case "socketpair loopback serving" test_loopback_serving;
         case "typed errors, connection survives" test_loopback_errors;
         case "pre-extension clients keep working" test_loopback_wire_compat;
         case "deadline replies, connection survives" test_loopback_deadline;
         case "hot reload over the wire" test_loopback_reload;
+        case "pipelined predict_many" test_predict_many;
         case "typed Connection_lost" test_client_connection_lost;
         case "overload sheds with typed reply" test_server_shed_overload;
         case "in-flight request survives stop" test_server_graceful_drain;
